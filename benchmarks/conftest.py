@@ -1,0 +1,39 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table or figure of the paper and prints it
+(run with ``pytest benchmarks/ --benchmark-only -s`` to see the artifacts).
+Budgets are scaled down from the paper's (documented in EXPERIMENTS.md);
+set ``REPRO_BENCH_SCALE=paper`` for full-scale runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    """'default' (minutes) or 'paper' (hours, the paper's sizes)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the artifact generator exactly once under pytest-benchmark.
+
+    These are experiment harnesses, not microbenchmarks: one round is the
+    meaningful unit, and the artifact matters more than the timing.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

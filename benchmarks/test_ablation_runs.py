@@ -1,0 +1,65 @@
+"""Ablation AB2: how many AutoML runs does Cross-ALE need?
+
+The paper uses 10 runs but notes the cost ("each AutoML run can take a
+long time").  This ablation measures the disagreement profile's stability
+as the committee grows: the high-variance region identified by R runs
+should converge — additional runs change the flagged subspace less and
+less, which is what makes a small R practical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.automl import AutoMLClassifier
+from repro.core import AleFeedback, cross_ale_committee
+from repro.datasets import generate_scream_dataset
+
+from .conftest import banner, bench_scale
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_cross_ale_runs(run_once):
+    paper = bench_scale() == "paper"
+    n_train = 1161 if paper else 300
+    iterations = 120 if paper else 12
+    max_runs = 10 if paper else 6
+
+    dataset = generate_scream_dataset(n_train, random_state=777)
+
+    def build_runs():
+        return [
+            AutoMLClassifier(
+                n_iterations=iterations, ensemble_size=6, min_distinct_members=4,
+                random_state=1000 + i,
+            ).fit(dataset.X, dataset.y)
+            for i in range(max_runs)
+        ]
+
+    runs = run_once(build_runs)
+    feedback = AleFeedback(grid_size=24)
+
+    banner("Ablation AB2 — Cross-ALE committee size (runs) vs flagged region")
+    print("runs,threshold,n_regions,relative_volume,jaccard_vs_full")
+
+    full_report = feedback.analyze(cross_ale_committee(runs), dataset.X, dataset.domains)
+    probe = np.column_stack([d.sample(4096, np.random.default_rng(0)) for d in dataset.domains])
+    full_mask = full_report.region.contains(probe)
+
+    jaccards = {}
+    for r in range(2, max_runs + 1):
+        report = feedback.analyze(cross_ale_committee(runs[:r]), dataset.X, dataset.domains)
+        mask = report.region.contains(probe)
+        union = (mask | full_mask).sum()
+        jaccard = float((mask & full_mask).sum() / union) if union else 1.0
+        jaccards[r] = jaccard
+        print(
+            f"{r},{report.threshold:.4g},{len(report.region)},"
+            f"{report.region.volume():.3f},{jaccard:.3f}"
+        )
+
+    # Convergence: the flagged region with most of the committee resembles
+    # the full committee's region far more than the 2-run region does.
+    assert jaccards[max_runs] >= jaccards[2] - 0.05
+    assert jaccards[max_runs - 1] > 0.5

@@ -1,0 +1,61 @@
+"""Benchmark F2: reproduce Figures 2a/2b (firewall port ALE plots).
+
+Paper claims (§4.2): the source-port ALE shows high across-model variance
+*especially around lower values* (kernel-assigned ports are noisy, low
+values appear mostly in spoofed attack traffic), and the destination-port
+ALE shows high variance *across 443–445* (the DDoS target zone).  The
+operator keeps the destination-port bound and discards the source-port
+one — interpretability that pool-point active learning cannot offer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import FigureConfig, run_figure2
+
+from .conftest import banner, bench_scale
+
+
+def _config() -> FigureConfig:
+    if bench_scale() == "paper":
+        return FigureConfig(
+            n_train=65532, automl_iterations=120, ensemble_size=16,
+            grid_size=64, grid_strategy="quantile",
+        )
+    return FigureConfig(
+        n_train=2500, automl_iterations=10, ensemble_size=6,
+        grid_size=48, grid_strategy="quantile", seed=3,
+    )
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_port_ale(run_once):
+    fig2a, fig2b = run_once(run_figure2, _config())
+    banner("Figure 2a — ALE of the source port (firewall data)")
+    print(fig2a.ascii_plot)
+    print(f"feedback: {fig2a.flagged_intervals}")
+    banner("Figure 2b — ALE of the destination port (firewall data)")
+    print(fig2b.ascii_plot)
+    print(f"feedback: {fig2b.flagged_intervals}")
+
+    report = fig2a.report
+    threshold = report.threshold
+
+    # 2a: disagreement concentrates at LOW source ports.
+    src = next(p for p in report.profiles if p.domain.name == "src_port")
+    low_mask = src.grid < 20000
+    high_mask = src.grid > 40000
+    assert low_mask.any() and high_mask.any()
+    assert src.std_curve[low_mask].mean() > 2.0 * src.std_curve[high_mask].mean()
+    # ...and the low range is actually flagged for the operator.
+    low_intervals = report.intervals_for("src_port")
+    assert low_intervals and low_intervals.intervals[0].low < 20000
+
+    # 2b: the 443-445 neighbourhood is flagged (the paper's actionable bound).
+    dst = next(p for p in report.profiles if p.domain.name == "dst_port")
+    ddos_zone = (dst.grid >= 400) & (dst.grid <= 500)
+    assert ddos_zone.any(), "quantile grid must resolve the 443-445 mass"
+    assert dst.std_curve[ddos_zone].max() > threshold
+    assert report.intervals_for("dst_port").contains(445.0)

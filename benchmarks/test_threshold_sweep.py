@@ -1,0 +1,56 @@
+"""Benchmark TH: the §4 "Setting the threshold" analysis.
+
+Paper claims: lower thresholds yield larger feature subspaces (better for
+large sampling budgets), higher thresholds shrink the region toward the
+decision boundary (better for small budgets).  We sweep multiples of the
+median heuristic and report region geometry and pool coverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.automl import AutoMLClassifier
+from repro.datasets import generate_scream_dataset
+from repro.experiments import sweep_thresholds, sweep_to_csv
+
+from .conftest import banner, bench_scale
+
+
+def _setup():
+    n = 1161 if bench_scale() == "paper" else 300
+    iterations = 120 if bench_scale() == "paper" else 14
+    dataset = generate_scream_dataset(n, random_state=2021)
+    pool = generate_scream_dataset(max(200, n // 3), random_state=2022)
+    automl = AutoMLClassifier(
+        n_iterations=iterations, ensemble_size=8, min_distinct_members=5, random_state=0
+    ).fit(dataset.X, dataset.y)
+    return dataset, pool, automl
+
+
+@pytest.mark.benchmark(group="threshold")
+def test_threshold_sweep(run_once):
+    dataset, pool, automl = _setup()
+
+    def sweep():
+        return sweep_thresholds(
+            automl.ensemble_members_,
+            dataset.X,
+            dataset.domains,
+            multipliers=(0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0),
+            grid_size=24,
+            pool_X=pool.X,
+        )
+
+    rows = run_once(sweep)
+    banner("§4 'Setting the threshold' — region size vs threshold multiplier")
+    print(sweep_to_csv(rows))
+
+    volumes = np.array([row.relative_volume for row in rows])
+    hits = np.array([row.pool_hits for row in rows], dtype=float)
+    # Monotone (non-increasing) region volume and pool coverage in T.
+    assert np.all(np.diff(volumes) <= 1e-9), volumes
+    assert np.all(np.diff(hits) <= 0 + 1e-9), hits
+    # The extremes actually differ (the knob does something).
+    assert volumes[0] > volumes[-1]

@@ -1,0 +1,85 @@
+"""Domain-customized AutoML: encoding operator priors (the paper's §1 vision).
+
+Three kinds of domain knowledge, applied to the Scream-vs-rest problem:
+
+1. **topology-implied independence** — measurements from disconnected
+   parts of the network are class-conditionally independent, which becomes
+   the covariance mask of a structured Gaussian model family;
+2. **monotonicity** — the operator knows SCReAM's advantage can only grow
+   with the loss rate (loss-based protocols collapse); ensemble members
+   whose ALE curve learned the opposite get evicted;
+3. **irrelevance** — a noise column the operator knows to ignore.
+
+Run:  python examples/domain_priors.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.datasets import generate_scream_dataset
+from repro.domain import (
+    INCREASING,
+    DomainCustomizedAutoML,
+    DomainSpec,
+    TopologyPriorBuilder,
+)
+from repro.ml import balanced_accuracy, train_test_split
+
+SEED = 23
+
+print("1) Data: Scream-vs-rest with an extra known-noise column appended")
+data = generate_scream_dataset(400, random_state=SEED)
+rng = np.random.default_rng(SEED)
+noise = rng.normal(size=(data.n_samples, 1))
+X = np.hstack([data.X, noise])
+feature_names = data.feature_names + ["ambient_noise"]
+X_train, X_test, y_train, y_test = train_test_split(X, data.y, test_size=0.3, stratify=True, random_state=SEED)
+
+print("\n2) Topology: where is each feature measured?")
+topology = nx.Graph()
+topology.add_edges_from(
+    [
+        ("sender", "bottleneck_link"),
+        ("bottleneck_link", "receiver"),
+        ("probe_host", "bottleneck_link"),
+    ]
+)
+topology.add_node("weather_station")  # disconnected: source of the noise column
+builder = TopologyPriorBuilder(
+    topology,
+    {
+        "bandwidth_mbps": "bottleneck_link",
+        "rtt_ms": "probe_host",
+        "loss_rate": "bottleneck_link",
+        "n_flows": "sender",
+        "ambient_noise": "weather_station",
+    },
+)
+groups = builder.dependence_groups(radius=1)
+print(f"   dependence groups (radius 1): {[sorted(g) for g in groups]}")
+
+spec = builder.build_spec(
+    feature_names,
+    radius=1,
+    monotone={"loss_rate": INCREASING},  # more loss -> SCReAM more attractive
+    irrelevant=["ambient_noise"],
+)
+print()
+print(spec.describe())
+
+print("\n3) Fitting domain-customized AutoML vs. the plain one...")
+customized = DomainCustomizedAutoML(spec, n_iterations=16, ensemble_size=8, random_state=SEED)
+customized.fit(X_train, y_train)
+custom_score = balanced_accuracy(y_test, customized.predict(X_test))
+print(customized.describe())
+
+from repro.automl import AutoMLClassifier  # noqa: E402  (contrast model)
+
+plain = AutoMLClassifier(n_iterations=16, ensemble_size=8, random_state=SEED)
+plain.fit(X_train, y_train)
+plain_score = balanced_accuracy(y_test, plain.predict(X_test))
+
+print(f"\n   plain AutoML      balanced accuracy: {plain_score:.3f}")
+print(f"   domain-customized balanced accuracy: {custom_score:.3f}")
+print("   (the customized run also guarantees its ensemble respects the priors,")
+print("    which is worth as much as raw accuracy to an operator)")

@@ -1,0 +1,64 @@
+"""Tuning the feedback threshold to the sampling budget (paper §4).
+
+The feedback algorithm's only hyper-parameter is the variance threshold
+``T``.  The paper's guidance:
+
+- *large labeling budget* → set ``T`` low: bigger subspaces, broader
+  coverage, less overfitting risk;
+- *small labeling budget* → set ``T`` high: concentrate the few samples
+  where they matter (near the decision boundary).
+
+This example sweeps ``T`` as a multiple of the median heuristic and shows
+(1) how the flagged subspace shrinks, and (2) what that does to the
+retrained model at two different budgets.
+
+Run:  python examples/threshold_tuning.py
+"""
+
+import numpy as np
+
+from repro.automl import AutoMLClassifier
+from repro.core import AleFeedback, within_ale_committee
+from repro.datasets import ScreamOracle, generate_scream_dataset
+from repro.experiments import sweep_thresholds, sweep_to_csv
+from repro.ml import balanced_accuracy
+
+SEED = 29
+
+print("1) Base model on the Scream-vs-rest task...")
+train = generate_scream_dataset(300, random_state=SEED)
+test = generate_scream_dataset(700, random_state=SEED + 1)
+oracle = ScreamOracle(random_state=SEED + 2)
+automl = AutoMLClassifier(n_iterations=14, ensemble_size=8, random_state=SEED)
+automl.fit(train.X, train.y)
+committee = within_ale_committee(automl)
+baseline = balanced_accuracy(test.y, automl.predict(test.X))
+print(f"   baseline balanced accuracy: {baseline:.3f}")
+
+print("\n2) Region geometry across threshold multipliers:")
+rows = sweep_thresholds(committee, train.X, train.domains, grid_size=24)
+print(sweep_to_csv(rows))
+
+print("3) Retraining at two budgets with low vs high thresholds:")
+print(f"   {'budget':>8s} {'T multiplier':>13s} {'region volume':>14s} {'bacc':>7s}")
+for budget in (30, 120):
+    for multiplier in (0.5, 2.0):
+        feedback = AleFeedback(grid_size=24, threshold_scale=multiplier)
+        report = feedback.analyze(committee, train.X, train.domains)
+        if not report.region:
+            print(f"   {budget:8d} {multiplier:13.1f} {'(empty)':>14s}      --")
+            continue
+        points = report.suggest(budget, random_state=SEED + budget)
+        labels = oracle.label(points)
+        augmented = train.extended(points, labels)
+        retrained = AutoMLClassifier(n_iterations=14, ensemble_size=8, random_state=SEED + 3)
+        retrained.fit(augmented.X, augmented.y)
+        score = balanced_accuracy(test.y, retrained.predict(test.X))
+        print(
+            f"   {budget:8d} {multiplier:13.1f} {report.region.volume():14.3f} {score:7.3f}"
+        )
+
+print("\n   The §4 trade-off in the paper: small budgets favour a high threshold")
+print("   (boundary focus), large budgets a low one (coverage).  Any single run")
+print("   is noisy — the benchmarks repeat this with 20 test sets and Wilcoxon")
+print("   tests before drawing conclusions; do the same before trusting a point.")

@@ -1,0 +1,59 @@
+"""repro — interpretable ALE-variance feedback for AutoML, for networking.
+
+A from-scratch reproduction of *"Interpretable Feedback for AutoML and a
+Proposal for Domain-customized AutoML for Networking"* (HotNets 2021),
+including every substrate the paper depends on:
+
+- :mod:`repro.core` — the feedback algorithm (ALE curves, disagreement
+  profiles, half-space sampling regions, operator explanations);
+- :mod:`repro.automl` — an AutoSklearn-style AutoML (random search +
+  greedy ensemble selection) over
+- :mod:`repro.ml` — a numpy-only model zoo (trees, forests, boosting,
+  logistic regression, naive Bayes, kNN);
+- :mod:`repro.netsim` — a network emulator (packet-level and fluid
+  engines; SCReAM/Cubic/Reno/Vegas/BBR) standing in for Pantheon;
+- :mod:`repro.datasets` — the Scream-vs-rest and synthetic-firewall
+  datasets with the paper's split protocol;
+- :mod:`repro.active` — active-learning baselines (uniform, confidence,
+  QBC, upsampling/SMOTE);
+- :mod:`repro.domain` — the domain-customization wrapper of §1 (priors,
+  structured Gaussians, topology-implied independence);
+- :mod:`repro.stats` / :mod:`repro.experiments` — Wilcoxon machinery and
+  one runner per table/figure.
+
+Quickstart::
+
+    from repro.automl import AutoMLClassifier
+    from repro.core import AleFeedback, within_ale_committee
+    from repro.datasets import generate_scream_dataset, ScreamOracle
+
+    data = generate_scream_dataset(400, random_state=0)
+    automl = AutoMLClassifier(n_iterations=20, random_state=0).fit(data.X, data.y)
+    report = AleFeedback().analyze(within_ale_committee(automl), data.X, data.domains)
+    print(report.summary())
+    new_points = report.suggest(50, random_state=0)
+    new_labels = ScreamOracle().label(new_points)
+"""
+
+from .exceptions import (
+    ConvergenceWarning,
+    EmulationError,
+    NotFittedError,
+    ReproError,
+    SearchBudgetError,
+    SubspaceError,
+    ValidationError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "NotFittedError",
+    "ValidationError",
+    "ConvergenceWarning",
+    "SearchBudgetError",
+    "EmulationError",
+    "SubspaceError",
+]

@@ -1,0 +1,88 @@
+"""Query-by-Committee over the AutoML ensemble (paper §2.2 / §4).
+
+Classic QBC (Seung, Opper & Sompolinsky 1992) queries the unlabeled points
+on which a committee of models disagrees most.  Following the paper, the
+committee is the AutoML ensemble itself — re-purposed rather than curated —
+and disagreement is measured with **vote entropy** (Dagan & Engelson 1995):
+
+    VE(x) = − Σ_c (V_c / |C|) · log(V_c / |C|)
+
+where ``V_c`` counts committee votes for class ``c``.  A soft variant using
+the members' averaged probabilities (consensus KL) is also provided.
+
+This is the paper's closest baseline: the *only* difference from the
+ALE-based feedback is the disagreement metric (prediction entropy at pool
+points vs ALE variance over feature space) — which is exactly the ablation
+``benchmarks/test_ablation_disagreement.py`` runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["vote_entropy", "consensus_kl", "select_by_committee"]
+
+
+def vote_entropy(committee, pool_X) -> np.ndarray:
+    """Hard-vote entropy of the committee at each pool point."""
+    committee = list(committee)
+    if len(committee) < 2:
+        raise ValidationError(f"QBC needs a committee of >= 2 models, got {len(committee)}")
+    pool_X = np.asarray(pool_X, dtype=np.float64)
+    votes = np.stack([member.predict(pool_X) for member in committee])  # (members, n)
+    n_members = votes.shape[0]
+    entropies = np.zeros(pool_X.shape[0])
+    for i in range(pool_X.shape[0]):
+        _, counts = np.unique(votes[:, i], return_counts=True)
+        fractions = counts / n_members
+        entropies[i] = -np.sum(fractions * np.log(fractions))
+    return entropies
+
+
+def consensus_kl(committee, pool_X) -> np.ndarray:
+    """Mean KL divergence of each member's distribution from the consensus.
+
+    The soft-vote QBC disagreement (McCallum & Nigam 1998); more sensitive
+    than vote entropy when members agree on the argmax but differ in
+    confidence.
+    """
+    committee = list(committee)
+    if len(committee) < 2:
+        raise ValidationError(f"QBC needs a committee of >= 2 models, got {len(committee)}")
+    pool_X = np.asarray(pool_X, dtype=np.float64)
+    probas = [np.clip(member.predict_proba(pool_X), 1e-12, 1.0) for member in committee]
+    # Members can expose different class counts if fit on odd splits; the
+    # AutoML search aligns them, so a mismatch here is a caller bug.
+    widths = {p.shape[1] for p in probas}
+    if len(widths) != 1:
+        raise ValidationError(f"committee members disagree on class count: {sorted(widths)}")
+    stacked = np.stack(probas)  # (members, n, classes)
+    consensus = stacked.mean(axis=0, keepdims=True)
+    kl = np.sum(stacked * np.log(stacked / consensus), axis=2)  # (members, n)
+    return kl.mean(axis=0)
+
+
+def select_by_committee(
+    committee,
+    pool_X,
+    n_points: int,
+    *,
+    disagreement: str = "vote_entropy",
+) -> np.ndarray:
+    """Indices of the ``n_points`` highest-disagreement pool candidates."""
+    pool_X = np.asarray(pool_X, dtype=np.float64)
+    if n_points < 1:
+        raise ValidationError(f"n_points must be >= 1, got {n_points}")
+    if n_points > pool_X.shape[0]:
+        raise ValidationError(f"asked for {n_points} points from a pool of {pool_X.shape[0]}")
+    if disagreement == "vote_entropy":
+        scores = vote_entropy(committee, pool_X)
+    elif disagreement == "consensus_kl":
+        scores = consensus_kl(committee, pool_X)
+    else:
+        raise ValidationError(
+            f"unknown disagreement {disagreement!r}; use 'vote_entropy' or 'consensus_kl'"
+        )
+    return np.argsort(scores)[::-1][:n_points]

@@ -1,0 +1,32 @@
+"""Uniform-sampling baseline.
+
+The simplest benchmark in Table 1: sample the same number of points as the
+ALE feedback, uniformly over the whole feature space, and add them to the
+training set.  It controls for the "more data helps regardless" effect —
+ALE feedback must beat it to show the *placement* of the data matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.subspace import FeatureDomain
+from ..exceptions import ValidationError
+from ..rng import RandomState, check_random_state
+
+__all__ = ["sample_uniform"]
+
+
+def sample_uniform(
+    domains: list[FeatureDomain],
+    n_points: int,
+    *,
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """Draw ``n_points`` uniformly over the product of feature domains."""
+    if n_points < 1:
+        raise ValidationError(f"n_points must be >= 1, got {n_points}")
+    if not domains:
+        raise ValidationError("need at least one feature domain")
+    rng = check_random_state(random_state)
+    return np.column_stack([domain.sample(n_points, rng) for domain in domains])

@@ -1,0 +1,118 @@
+"""Caruana-style greedy ensemble selection and the ensemble classifier.
+
+AutoSklearn builds its final model by greedily adding search candidates
+(with replacement) to an ensemble so as to maximize a validation metric of
+the *averaged* probabilities.  We reproduce that procedure: it is exactly
+the mechanism that yields the diverse bag of strong models the paper's
+feedback algorithm re-purposes as a committee.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..ml.base import check_is_fitted
+from ..ml.metrics import balanced_accuracy
+
+__all__ = ["greedy_ensemble_selection", "EnsembleClassifier"]
+
+
+def greedy_ensemble_selection(
+    proba_matrices: Sequence[np.ndarray],
+    y_valid: np.ndarray,
+    classes: np.ndarray,
+    *,
+    ensemble_size: int = 10,
+    scorer: Callable[[np.ndarray, np.ndarray], float] | None = None,
+) -> list[int]:
+    """Return candidate indices (with repetition) forming the best ensemble.
+
+    Starts from the single best candidate and repeatedly adds whichever
+    candidate most improves the score of the averaged probabilities;
+    repetition acts as implicit weighting, as in Caruana et al. (2004).
+    """
+    if not proba_matrices:
+        raise ValidationError("no candidate probability matrices given")
+    if ensemble_size < 1:
+        raise ValidationError(f"ensemble_size must be >= 1, got {ensemble_size}")
+    scorer = scorer or balanced_accuracy
+    y_valid = np.asarray(y_valid)
+    stacked = np.stack(proba_matrices)  # (n_candidates, n_valid, n_classes)
+    if stacked.ndim != 3 or stacked.shape[1] != y_valid.shape[0]:
+        raise ValidationError("probability matrices disagree with the validation labels")
+
+    def ensemble_score(total: np.ndarray, count: int) -> float:
+        predictions = classes[np.argmax(total / count, axis=1)]
+        return float(scorer(y_valid, predictions))
+
+    selected: list[int] = []
+    running_total = np.zeros_like(stacked[0])
+    for _ in range(ensemble_size):
+        scores = np.array(
+            [ensemble_score(running_total + stacked[i], len(selected) + 1) for i in range(stacked.shape[0])]
+        )
+        best = int(np.argmax(scores))
+        selected.append(best)
+        running_total += stacked[best]
+    return selected
+
+
+class EnsembleClassifier:
+    """Weighted soft-voting ensemble over fitted member pipelines.
+
+    Members and weights typically come from :func:`greedy_ensemble_selection`
+    (repetitions collapse into integer weights).  The member list is public:
+    the feedback algorithm iterates over ``members`` to build its committee.
+    """
+
+    def __init__(self, members: Sequence, weights: Sequence[float], classes: np.ndarray):
+        members = list(members)
+        weights = np.asarray(list(weights), dtype=np.float64)
+        if not members:
+            raise ValidationError("ensemble needs at least one member")
+        if weights.shape[0] != len(members):
+            raise ValidationError(f"{len(members)} members but {weights.shape[0]} weights")
+        if (weights <= 0).any():
+            raise ValidationError("ensemble weights must be positive")
+        self.members = members
+        self.weights = weights / weights.sum()
+        self.classes_ = np.asarray(classes)
+        self.fitted_ = True
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "fitted_")
+        total = None
+        for member, weight in zip(self.members, self.weights):
+            proba = self._aligned_member_proba(member, X)
+            total = weight * proba if total is None else total + weight * proba
+        return total
+
+    def _aligned_member_proba(self, member, X) -> np.ndarray:
+        proba = member.predict_proba(X)
+        member_classes = np.asarray(member.classes_)
+        if member_classes.shape[0] == self.classes_.shape[0] and np.all(member_classes == self.classes_):
+            return proba
+        aligned = np.zeros((proba.shape[0], self.classes_.shape[0]))
+        positions = np.searchsorted(self.classes_, member_classes)
+        aligned[:, positions] = proba
+        return aligned
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+    def member_predictions(self, X) -> np.ndarray:
+        """Stack of each member's hard predictions, shape ``(n_members, n)``.
+
+        Used by the QBC baseline (vote entropy needs per-member votes).
+        """
+        return np.stack([member.predict(X) for member in self.members])
+
+    def score(self, X, y) -> float:
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))

@@ -1,0 +1,264 @@
+"""Meta-learning warm start for the AutoML search.
+
+AutoSklearn's third ingredient (besides search and ensembling) is
+meta-learning: characterize a dataset with cheap *meta-features*, find
+previously solved datasets that look similar, and seed the search with the
+configurations that won there.  This module implements that loop:
+
+- :func:`compute_meta_features` — a fixed vector of dataset statistics;
+- :class:`MetaLearningStore` — a persistent memory of
+  ``(meta-features, winning configuration, score)`` records with
+  nearest-neighbour lookup;
+- :class:`WarmStartSearch` — wraps a base search so its first candidates
+  are the store's suggestions, with the remainder of the budget explored
+  as usual.
+
+The store is deliberately simple (JSON on disk, standardized Euclidean
+distance) — the structure, not the sophistication, is what the AutoML
+substrate needs to be a faithful AutoSklearn stand-in.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..ml.base import check_X_y
+from ..rng import RandomState, check_random_state
+from .pipeline import Pipeline
+from .search import RandomSearch, SearchResult
+from .spaces import Candidate, ModelFamily, default_model_families, _SCALERS
+
+__all__ = ["compute_meta_features", "MetaRecord", "MetaLearningStore", "WarmStartSearch"]
+
+META_FEATURE_NAMES = [
+    "log_n_samples",
+    "log_n_features",
+    "n_classes",
+    "class_entropy",
+    "majority_fraction",
+    "mean_abs_skew",
+    "mean_feature_correlation",
+    "mean_coefficient_of_variation",
+]
+
+
+def compute_meta_features(X, y) -> np.ndarray:
+    """A fixed-length statistical fingerprint of a classification dataset."""
+    X, y = check_X_y(X, y)
+    n, d = X.shape
+    _, counts = np.unique(y, return_counts=True)
+    fractions = counts / counts.sum()
+    entropy = float(-np.sum(fractions * np.log(fractions)))
+
+    centered = X - X.mean(axis=0)
+    std = X.std(axis=0)
+    safe_std = np.where(std > 0, std, 1.0)
+    standardized = centered / safe_std
+    skew = np.mean(np.abs((standardized**3).mean(axis=0)))
+    if d > 1:
+        corr = np.corrcoef(standardized, rowvar=False)
+        corr = np.nan_to_num(corr, nan=0.0)
+        off_diag = corr[~np.eye(d, dtype=bool)]
+        mean_corr = float(np.mean(np.abs(off_diag)))
+    else:
+        mean_corr = 0.0
+    means = X.mean(axis=0)
+    cov_coeff = float(np.mean(std / np.maximum(np.abs(means), 1e-9)))
+
+    return np.array(
+        [
+            np.log(n),
+            np.log(d),
+            float(counts.size),
+            entropy,
+            float(fractions.max()),
+            float(skew),
+            mean_corr,
+            min(cov_coeff, 1e6),
+        ]
+    )
+
+
+@dataclass
+class MetaRecord:
+    """One remembered outcome: dataset fingerprint -> winning config."""
+
+    meta_features: list[float]
+    family: str
+    params: dict
+    scaler: str
+    score: float
+
+    def to_json(self) -> dict:
+        return {
+            "meta_features": list(self.meta_features),
+            "family": self.family,
+            "params": self.params,
+            "scaler": self.scaler,
+            "score": self.score,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "MetaRecord":
+        return cls(
+            meta_features=[float(v) for v in data["meta_features"]],
+            family=str(data["family"]),
+            params=dict(data["params"]),
+            scaler=str(data["scaler"]),
+            score=float(data["score"]),
+        )
+
+
+class MetaLearningStore:
+    """A memory of past AutoML outcomes with similarity lookup.
+
+    ``path`` makes the store persistent (JSON); without it the store is
+    in-memory only.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self.records: list[MetaRecord] = []
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def _load(self) -> None:
+        data = json.loads(self.path.read_text())
+        self.records = [MetaRecord.from_json(item) for item in data]
+
+    def _persist(self) -> None:
+        if self.path is not None:
+            self.path.write_text(json.dumps([record.to_json() for record in self.records], indent=1))
+
+    def remember(self, X, y, result: SearchResult, *, top_k: int = 3) -> None:
+        """Store the best ``top_k`` configurations of a finished search."""
+        meta = compute_meta_features(X, y)
+        for item in result.evaluated[:top_k]:
+            candidate = item.candidate
+            self.records.append(
+                MetaRecord(
+                    meta_features=meta.tolist(),
+                    family=candidate.family,
+                    params=_jsonable(candidate.params),
+                    scaler=candidate.scaler,
+                    score=item.score,
+                )
+            )
+        self._persist()
+
+    def suggest(self, X, y, *, k: int = 5) -> list[MetaRecord]:
+        """The stored configurations from the most similar datasets.
+
+        Distance is Euclidean over meta-features standardized by the
+        store's own spread, so no single scale-heavy feature dominates.
+        """
+        if not self.records:
+            return []
+        query = compute_meta_features(X, y)
+        matrix = np.array([record.meta_features for record in self.records])
+        spread = matrix.std(axis=0)
+        spread[spread == 0.0] = 1.0
+        distances = np.linalg.norm((matrix - query) / spread, axis=1)
+        order = np.argsort(distances)
+        # Deduplicate identical configurations, nearest first.
+        seen: set[tuple] = set()
+        suggestions: list[MetaRecord] = []
+        for index in order:
+            record = self.records[index]
+            key = (record.family, record.scaler, tuple(sorted(record.params.items())))
+            if key in seen:
+                continue
+            seen.add(key)
+            suggestions.append(record)
+            if len(suggestions) >= k:
+                break
+        return suggestions
+
+
+def _jsonable(params: dict) -> dict:
+    out = {}
+    for key, value in params.items():
+        if isinstance(value, (np.integer,)):
+            value = int(value)
+        elif isinstance(value, (np.floating,)):
+            value = float(value)
+        out[key] = value
+    return out
+
+
+class WarmStartSearch:
+    """A random search seeded with a meta-learning store's suggestions.
+
+    Suggested configurations are evaluated first (they consume part of the
+    ``n_iterations`` budget); the rest of the budget explores randomly.
+    On completion the search's winners are written back to the store, so
+    repeated use across datasets accumulates experience.
+    """
+
+    def __init__(
+        self,
+        store: MetaLearningStore,
+        *,
+        n_iterations: int = 30,
+        n_warm: int = 5,
+        valid_fraction: float = 0.25,
+        families: list[ModelFamily] | None = None,
+        remember: bool = True,
+        random_state: RandomState = None,
+    ):
+        if n_warm < 0:
+            raise ValidationError(f"n_warm must be >= 0, got {n_warm}")
+        if n_warm >= n_iterations:
+            raise ValidationError(
+                f"n_warm ({n_warm}) must leave room for exploration within n_iterations ({n_iterations})"
+            )
+        self.store = store
+        self.n_iterations = n_iterations
+        self.n_warm = n_warm
+        self.valid_fraction = valid_fraction
+        self.families = families
+        self.remember = remember
+        self.random_state = random_state
+
+    def _rebuild_candidate(self, record: MetaRecord, families: list[ModelFamily], rng) -> Candidate | None:
+        by_name = {family.name: family for family in families}
+        family = by_name.get(record.family)
+        if family is None or record.scaler not in _SCALERS:
+            return None
+        try:
+            model = family.build(dict(record.params), rng)
+        except (TypeError, ValidationError):
+            return None  # the stored params no longer match the space
+        pipeline = Pipeline([("scaler", _SCALERS[record.scaler]()), ("model", model)])
+        return Candidate(family=record.family, params=dict(record.params), scaler=record.scaler, pipeline=pipeline)
+
+    def run(self, X, y) -> SearchResult:
+        X, y = check_X_y(X, y)
+        rng = check_random_state(self.random_state)
+        families = self.families if self.families is not None else default_model_families()
+
+        warm_candidates: list[Candidate] = []
+        for record in self.store.suggest(X, y, k=self.n_warm):
+            candidate = self._rebuild_candidate(record, families, rng)
+            if candidate is not None:
+                warm_candidates.append(candidate)
+
+        search = RandomSearch(
+            n_iterations=self.n_iterations,
+            valid_fraction=self.valid_fraction,
+            families=families,
+            initial_candidates=warm_candidates,
+            random_state=rng,
+        )
+        result = search.run(X, y)
+        if self.remember:
+            self.store.remember(X, y, result)
+        return result

@@ -1,0 +1,94 @@
+"""Preprocessing + estimator pipelines.
+
+Each AutoML candidate is a :class:`Pipeline` of zero or more transformers
+followed by a classifier.  The pipeline forwards the classifier protocol
+(``predict`` / ``predict_proba`` / ``classes_``) so fitted pipelines are
+drop-in members of the feedback algorithm's model committee.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..ml.base import check_is_fitted, clone
+
+__all__ = ["Pipeline"]
+
+
+class Pipeline:
+    """A linear chain of named transformers ending in a classifier.
+
+    ``steps`` is a sequence of ``(name, estimator)`` pairs.  All but the
+    last step must provide ``fit_transform``/``transform``; the last must be
+    a classifier.
+    """
+
+    def __init__(self, steps: Sequence[tuple[str, Any]]):
+        steps = list(steps)
+        if not steps:
+            raise ValidationError("Pipeline needs at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate step names in pipeline: {names}")
+        for name, transformer in steps[:-1]:
+            if not hasattr(transformer, "transform"):
+                raise ValidationError(f"intermediate step {name!r} lacks a transform method")
+        if not hasattr(steps[-1][1], "predict"):
+            raise ValidationError(f"final step {steps[-1][0]!r} is not a classifier")
+        self.steps = steps
+
+    @property
+    def named_steps(self) -> dict[str, Any]:
+        return dict(self.steps)
+
+    @property
+    def final_estimator(self) -> Any:
+        return self.steps[-1][1]
+
+    @property
+    def classes_(self) -> np.ndarray:
+        return self.final_estimator.classes_
+
+    def clone(self) -> "Pipeline":
+        return Pipeline([(name, clone(estimator)) for name, estimator in self.steps])
+
+    def get_params(self) -> dict[str, Any]:
+        """Flattened ``step__param`` view of every step's parameters."""
+        params: dict[str, Any] = {}
+        for name, estimator in self.steps:
+            if hasattr(estimator, "get_params"):
+                for key, value in estimator.get_params().items():
+                    params[f"{name}__{key}"] = value
+        return params
+
+    def fit(self, X, y) -> "Pipeline":
+        data = np.asarray(X, dtype=np.float64)
+        for _, transformer in self.steps[:-1]:
+            data = transformer.fit_transform(data, y)
+        self.final_estimator.fit(data, y)
+        self.fitted_ = True
+        return self
+
+    def _transform(self, X) -> np.ndarray:
+        check_is_fitted(self, "fitted_")
+        data = np.asarray(X, dtype=np.float64)
+        for _, transformer in self.steps[:-1]:
+            data = transformer.transform(data)
+        return data
+
+    def predict(self, X) -> np.ndarray:
+        return self.final_estimator.predict(self._transform(X))
+
+    def predict_proba(self, X) -> np.ndarray:
+        return self.final_estimator.predict_proba(self._transform(X))
+
+    def score(self, X, y) -> float:
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={type(est).__name__}" for name, est in self.steps)
+        return f"Pipeline({inner})"

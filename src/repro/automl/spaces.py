@@ -1,0 +1,217 @@
+"""Hyper-parameter search spaces and candidate configuration sampling.
+
+The default space covers the model families of :mod:`repro.ml` plus a
+preprocessing choice — the structure AutoSklearn searches, scaled to what
+runs in seconds rather than hours.  Spaces are declarative so the domain
+customization layer (:mod:`repro.domain`) can restrict or re-weight them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..ml.boosting import GradientBoostingClassifier
+from ..ml.forest import ExtraTreesClassifier, RandomForestClassifier
+from ..ml.linear import LogisticRegression
+from ..ml.naive_bayes import GaussianNB
+from ..ml.neighbors import KNeighborsClassifier
+from ..ml.preprocessing import IdentityTransformer, MinMaxScaler, StandardScaler
+from ..ml.tree import DecisionTreeClassifier
+from .pipeline import Pipeline
+
+__all__ = [
+    "Categorical",
+    "IntRange",
+    "FloatRange",
+    "ModelFamily",
+    "Candidate",
+    "default_model_families",
+    "sample_candidate",
+]
+
+
+class Categorical:
+    """A finite unordered choice."""
+
+    def __init__(self, *choices: Any):
+        if not choices:
+            raise ValidationError("Categorical needs at least one choice")
+        self.choices = choices
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.choices[int(rng.integers(0, len(self.choices)))]
+
+    def __repr__(self) -> str:
+        return f"Categorical{self.choices!r}"
+
+
+class IntRange:
+    """Uniform (optionally log-uniform) integer range, inclusive."""
+
+    def __init__(self, low: int, high: int, *, log: bool = False):
+        if low > high:
+            raise ValidationError(f"IntRange low {low} > high {high}")
+        if log and low < 1:
+            raise ValidationError("log-scaled IntRange requires low >= 1")
+        self.low, self.high, self.log = low, high, log
+
+    def sample(self, rng: np.random.Generator) -> int:
+        if self.log:
+            value = np.exp(rng.uniform(np.log(self.low), np.log(self.high + 1)))
+            return int(np.clip(int(value), self.low, self.high))
+        return int(rng.integers(self.low, self.high + 1))
+
+    def __repr__(self) -> str:
+        return f"IntRange({self.low}, {self.high}, log={self.log})"
+
+
+class FloatRange:
+    """Uniform (optionally log-uniform) float range."""
+
+    def __init__(self, low: float, high: float, *, log: bool = False):
+        if low > high:
+            raise ValidationError(f"FloatRange low {low} > high {high}")
+        if log and low <= 0:
+            raise ValidationError("log-scaled FloatRange requires low > 0")
+        self.low, self.high, self.log = low, high, log
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.log:
+            return float(np.exp(rng.uniform(np.log(self.low), np.log(self.high))))
+        return float(rng.uniform(self.low, self.high))
+
+    def __repr__(self) -> str:
+        return f"FloatRange({self.low}, {self.high}, log={self.log})"
+
+
+@dataclass
+class ModelFamily:
+    """One searchable estimator family.
+
+    ``factory`` builds an unfitted estimator from sampled parameters (plus a
+    ``random_state`` where the family is stochastic).
+    """
+
+    name: str
+    factory: Callable[..., Any]
+    space: dict[str, Any]
+    stochastic: bool = True
+
+    def build(self, params: dict[str, Any], rng: np.random.Generator) -> Any:
+        if self.stochastic:
+            return self.factory(random_state=int(rng.integers(0, 2**31 - 1)), **params)
+        return self.factory(**params)
+
+
+@dataclass
+class Candidate:
+    """A fully specified pipeline configuration (family + params + scaler)."""
+
+    family: str
+    params: dict[str, Any]
+    scaler: str
+    pipeline: Pipeline = field(repr=False, default=None)
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.family}({inner}) | scaler={self.scaler}"
+
+
+_SCALERS: dict[str, Callable[[], Any]] = {
+    "none": IdentityTransformer,
+    "standard": StandardScaler,
+    "minmax": MinMaxScaler,
+}
+
+
+def default_model_families() -> list[ModelFamily]:
+    """The default AutoML search space over :mod:`repro.ml` classifiers."""
+    return [
+        ModelFamily(
+            "decision_tree",
+            DecisionTreeClassifier,
+            {
+                "max_depth": IntRange(2, 16),
+                "min_samples_leaf": IntRange(1, 20, log=True),
+                "criterion": Categorical("gini", "entropy"),
+            },
+        ),
+        ModelFamily(
+            "random_forest",
+            RandomForestClassifier,
+            {
+                "n_estimators": IntRange(20, 80, log=True),
+                "max_depth": IntRange(4, 16),
+                "min_samples_leaf": IntRange(1, 10, log=True),
+                "max_features": Categorical("sqrt", "log2", None),
+            },
+        ),
+        ModelFamily(
+            "extra_trees",
+            ExtraTreesClassifier,
+            {
+                "n_estimators": IntRange(20, 80, log=True),
+                "max_depth": IntRange(4, 16),
+                "min_samples_leaf": IntRange(1, 10, log=True),
+            },
+        ),
+        ModelFamily(
+            "gradient_boosting",
+            GradientBoostingClassifier,
+            {
+                "n_estimators": IntRange(20, 60, log=True),
+                "learning_rate": FloatRange(0.03, 0.3, log=True),
+                "max_depth": IntRange(2, 5),
+                "subsample": FloatRange(0.6, 1.0),
+            },
+        ),
+        ModelFamily(
+            "logistic_regression",
+            LogisticRegression,
+            {"C": FloatRange(1e-2, 1e2, log=True)},
+            stochastic=False,
+        ),
+        ModelFamily(
+            "gaussian_nb",
+            GaussianNB,
+            {"var_smoothing": FloatRange(1e-10, 1e-6, log=True)},
+            stochastic=False,
+        ),
+        ModelFamily(
+            "knn",
+            KNeighborsClassifier,
+            {
+                "n_neighbors": IntRange(1, 25, log=True),
+                "weights": Categorical("uniform", "distance"),
+            },
+            stochastic=False,
+        ),
+    ]
+
+
+def sample_candidate(
+    families: list[ModelFamily],
+    rng: np.random.Generator,
+    *,
+    scaler_choices: tuple[str, ...] = ("none", "standard", "minmax"),
+) -> Candidate:
+    """Draw one pipeline configuration uniformly from the space."""
+    if not families:
+        raise ValidationError("no model families to sample from")
+    for scaler in scaler_choices:
+        if scaler not in _SCALERS:
+            raise ValidationError(f"unknown scaler {scaler!r}; choices: {sorted(_SCALERS)}")
+    family = families[int(rng.integers(0, len(families)))]
+    params = {name: space.sample(rng) for name, space in family.space.items()}
+    scaler = scaler_choices[int(rng.integers(0, len(scaler_choices)))]
+    pipeline = Pipeline(
+        [
+            ("scaler", _SCALERS[scaler]()),
+            ("model", family.build(params, rng)),
+        ]
+    )
+    return Candidate(family=family.name, params=params, scaler=scaler, pipeline=pipeline)

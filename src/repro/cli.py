@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+One subcommand per reproducible artifact, so a user can regenerate any
+table or figure without touching Python:
+
+- ``table1``   — Table 1 (Scream-vs-rest, nine algorithms, Wilcoxon);
+- ``ucl``      — the §4.2 firewall results;
+- ``figure1``  — the link-rate ALE plot;
+- ``figure2``  — the firewall port ALE plots;
+- ``sweep``    — the §4 threshold sensitivity analysis;
+- ``emulate``  — run one network scenario through every protocol.
+
+Results print to stdout; ``--output DIR`` additionally writes the JSON/CSV
+record bundle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=None, help="override the experiment seed")
+    parser.add_argument("--output", type=Path, default=None, help="directory for the JSON/CSV record")
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's dataset/budget sizes (hours, not minutes)",
+    )
+
+
+def _maybe_save(record, output: Path | None) -> None:
+    if output is None:
+        return
+    from .experiments import save_record
+
+    path = save_record(record, output)
+    print(f"\nrecord written to {path}")
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .experiments import PAPER_SCALE, Table1Config, run_table1
+
+    config = PAPER_SCALE if args.paper_scale else Table1Config()
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    table, record = run_table1(config, progress=lambda message: print(message, file=sys.stderr))
+    print(record.tables["table1"])
+    _maybe_save(record, args.output)
+    return 0
+
+
+def _cmd_ucl(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .experiments import PAPER_SCALE_UCL, UCLConfig, run_ucl
+
+    config = PAPER_SCALE_UCL if args.paper_scale else UCLConfig()
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    table, record = run_ucl(config, progress=lambda message: print(message, file=sys.stderr))
+    print(record.tables["ucl"])
+    for name in ("within_ale_pool", "cross_ale_pool"):
+        print(f"P(no_feedback, {name}) = {table.p_value('no_feedback', name):.3g}")
+    _maybe_save(record, args.output)
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .experiments import FigureConfig, run_figure1
+
+    config = FigureConfig()
+    if args.paper_scale:
+        config = replace(config, n_train=1161, automl_iterations=120, ensemble_size=16)
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    artifact = run_figure1(config)
+    print(artifact.ascii_plot)
+    print(f"\nthreshold T = {artifact.threshold:.4g}")
+    print(f"feedback:    {artifact.flagged_intervals}")
+    _maybe_save(artifact.to_record(), args.output)
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .experiments import FigureConfig, run_figure2
+
+    config = FigureConfig(grid_strategy="quantile", grid_size=48, n_train=2500)
+    if args.paper_scale:
+        config = replace(config, n_train=65532, automl_iterations=120, ensemble_size=16)
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    fig2a, fig2b = run_figure2(config)
+    for artifact in (fig2a, fig2b):
+        print(artifact.ascii_plot)
+        print(f"feedback: {artifact.flagged_intervals}\n")
+        _maybe_save(artifact.to_record(), args.output)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .automl import AutoMLClassifier
+    from .datasets import generate_scream_dataset
+    from .experiments import sweep_thresholds, sweep_to_csv
+
+    seed = args.seed if args.seed is not None else 2021
+    n = 1161 if args.paper_scale else 300
+    dataset = generate_scream_dataset(n, random_state=seed)
+    automl = AutoMLClassifier(
+        n_iterations=120 if args.paper_scale else 14,
+        ensemble_size=8,
+        min_distinct_members=5,
+        random_state=seed,
+    ).fit(dataset.X, dataset.y)
+    rows = sweep_thresholds(
+        automl.ensemble_members_, dataset.X, dataset.domains, grid_size=24
+    )
+    print(sweep_to_csv(rows))
+    return 0
+
+
+def _cmd_emulate(args: argparse.Namespace) -> int:
+    from .netsim import PROTOCOLS, NetworkScenario, run_fluid_scenario, run_packet_scenario
+
+    scenario = NetworkScenario(
+        bandwidth_mbps=args.bandwidth,
+        rtt_ms=args.rtt,
+        loss_rate=args.loss,
+        n_flows=args.flows,
+    )
+    run = run_packet_scenario if args.engine == "packet" else run_fluid_scenario
+    kwargs = {"duration": 5.0} if args.engine == "packet" else {}
+    seed = args.seed if args.seed is not None else 0
+    print(f"scenario: {scenario}")
+    print(f"{'protocol':10s} {'p95 delay':>10s} {'avg delay':>10s} {'throughput':>11s} {'loss':>7s}")
+    for protocol in sorted(PROTOCOLS):
+        metrics = run(scenario, protocol, random_state=seed, **kwargs)
+        print(
+            f"{protocol:10s} {metrics.p95_delay_ms:8.1f}ms {metrics.avg_delay_ms:8.1f}ms "
+            f"{metrics.throughput_mbps:8.2f}Mbps {metrics.loss_fraction:7.3f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of 'Interpretable Feedback for AutoML' (HotNets'21).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, help_text in (
+        ("table1", _cmd_table1, "reproduce Table 1 (Scream-vs-rest)"),
+        ("ucl", _cmd_ucl, "reproduce the §4.2 firewall results"),
+        ("figure1", _cmd_figure1, "reproduce Figure 1 (link-rate ALE)"),
+        ("figure2", _cmd_figure2, "reproduce Figures 2a/2b (port ALE)"),
+        ("sweep", _cmd_sweep, "threshold sensitivity (§4)"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_common(sub)
+        sub.set_defaults(handler=handler)
+
+    emulate = subparsers.add_parser("emulate", help="run one scenario through every protocol")
+    emulate.add_argument("--bandwidth", type=float, default=20.0, help="bottleneck Mbps")
+    emulate.add_argument("--rtt", type=float, default=40.0, help="base RTT in ms")
+    emulate.add_argument("--loss", type=float, default=0.0, help="random loss rate")
+    emulate.add_argument("--flows", type=int, default=1, help="concurrent flows")
+    emulate.add_argument("--engine", choices=("packet", "fluid"), default="packet")
+    emulate.add_argument("--seed", type=int, default=None)
+    emulate.set_defaults(handler=_cmd_emulate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,151 @@
+"""Second-order (interaction) ALE.
+
+First-order ALE answers "what did the model learn about feature j"; the
+second-order curve answers "what did it learn about the *interaction* of
+features j and k beyond their individual effects" (Apley & Zhu §4).  The
+paper's future-work list includes richer feedback such as identifying
+confounded feature pairs — across-model variance of the interaction
+surface is the natural extension of the §3 algorithm to that setting, and
+:func:`interaction_disagreement` implements exactly that.
+
+The estimator follows the standard construction: per 2-D bin, the mean
+second-order finite difference of the model output at the bin's four
+corners, double-accumulated over the grid, then centered so that both
+first-order margins are zero (what remains is pure interaction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["ALESurface", "ale_interaction", "interaction_disagreement"]
+
+
+@dataclass
+class ALESurface:
+    """A fitted second-order ALE surface for one feature pair / one class.
+
+    ``values[p, q]`` is the interaction effect at grid point
+    ``(edges_a[p+1], edges_b[q+1])``; margins are centered out.
+    """
+
+    feature_a: int
+    feature_b: int
+    edges_a: np.ndarray
+    edges_b: np.ndarray
+    values: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def grid_a(self) -> np.ndarray:
+        return self.edges_a[1:]
+
+    @property
+    def grid_b(self) -> np.ndarray:
+        return self.edges_b[1:]
+
+    def interaction_strength(self) -> float:
+        """Count-weighted RMS of the surface: 0 means no interaction."""
+        weights = self.counts / max(self.counts.sum(), 1)
+        return float(np.sqrt(np.sum(weights * self.values**2)))
+
+
+def ale_interaction(
+    model,
+    X: np.ndarray,
+    feature_a: int,
+    feature_b: int,
+    edges_a: np.ndarray,
+    edges_b: np.ndarray,
+    *,
+    class_index: int = -1,
+) -> ALESurface:
+    """Second-order ALE of ``model`` for the pair ``(feature_a, feature_b)``.
+
+    ``class_index`` selects the probability column the surface describes
+    (default: the last class, the positive one for binary problems).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValidationError("X must be 2-dimensional")
+    for feature in (feature_a, feature_b):
+        if not 0 <= feature < X.shape[1]:
+            raise ValidationError(f"feature index {feature} out of range")
+    if feature_a == feature_b:
+        raise ValidationError("second-order ALE needs two distinct features")
+    edges_a = np.asarray(edges_a, dtype=np.float64)
+    edges_b = np.asarray(edges_b, dtype=np.float64)
+    if edges_a.size < 2 or edges_b.size < 2:
+        raise ValidationError("each edge array needs at least 2 entries")
+
+    ka, kb = edges_a.size - 1, edges_b.size - 1
+    bins_a = np.clip(np.searchsorted(edges_a, X[:, feature_a], side="right") - 1, 0, ka - 1)
+    bins_b = np.clip(np.searchsorted(edges_b, X[:, feature_b], side="right") - 1, 0, kb - 1)
+
+    # Evaluate the four corners of each sample's 2-D bin in one batch each.
+    def corner(a_side: int, b_side: int) -> np.ndarray:
+        batch = X.copy()
+        batch[:, feature_a] = edges_a[bins_a + a_side]
+        batch[:, feature_b] = edges_b[bins_b + b_side]
+        proba = model.predict_proba(batch)
+        return proba[:, class_index]
+
+    second_difference = corner(1, 1) - corner(1, 0) - corner(0, 1) + corner(0, 0)
+
+    local = np.zeros((ka, kb))
+    counts = np.zeros((ka, kb), dtype=np.int64)
+    np.add.at(local, (bins_a, bins_b), second_difference)
+    np.add.at(counts, (bins_a, bins_b), 1)
+    with np.errstate(invalid="ignore"):
+        local = np.where(counts > 0, local / np.maximum(counts, 1), 0.0)
+
+    accumulated = np.cumsum(np.cumsum(local, axis=0), axis=1)
+
+    # Center out both first-order margins (count-weighted), leaving pure
+    # interaction; then center the global mean.
+    total = max(counts.sum(), 1)
+    row_means = (accumulated * counts).sum(axis=1) / np.maximum(counts.sum(axis=1), 1)
+    col_means = (accumulated * counts).sum(axis=0) / np.maximum(counts.sum(axis=0), 1)
+    centered = accumulated - row_means[:, None] - col_means[None, :]
+    grand = (centered * counts).sum() / total
+    centered -= grand
+
+    return ALESurface(
+        feature_a=feature_a,
+        feature_b=feature_b,
+        edges_a=edges_a,
+        edges_b=edges_b,
+        values=centered,
+        counts=counts,
+    )
+
+
+def interaction_disagreement(
+    committee,
+    X: np.ndarray,
+    feature_a: int,
+    feature_b: int,
+    edges_a: np.ndarray,
+    edges_b: np.ndarray,
+    *,
+    class_index: int = -1,
+) -> tuple[np.ndarray, list[ALESurface]]:
+    """Across-committee std of the interaction surface (future-work feedback).
+
+    Returns the per-grid-cell standard deviation plus each member's
+    surface; high cells indicate feature *pairs* the committee is confused
+    about — the 2-D analogue of the paper's §3 output.
+    """
+    committee = list(committee)
+    if len(committee) < 2:
+        raise ValidationError(f"disagreement needs >= 2 models, got {len(committee)}")
+    surfaces = [
+        ale_interaction(model, X, feature_a, feature_b, edges_a, edges_b, class_index=class_index)
+        for model in committee
+    ]
+    stacked = np.stack([surface.values for surface in surfaces])
+    return stacked.std(axis=0), surfaces

@@ -1,0 +1,141 @@
+"""Operator-facing rendering of feedback reports.
+
+The paper argues interpretability is the point: the operator must see *why*
+data is being requested.  This module renders a :class:`FeedbackReport`
+three ways:
+
+- :func:`explain_report` — plain-language, per-feature text targeted at a
+  domain expert with no ML background (the "blind-folded humans" framing of
+  §2.1);
+- :func:`ascii_ale_plot` — a terminal plot of the committee-mean ALE with
+  ±1 std error bars, the textual equivalent of the paper's Figure 1/2;
+- :func:`curves_to_csv` — machine-readable series for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .feedback import FeatureDisagreement, FeedbackReport
+
+__all__ = ["explain_report", "ascii_ale_plot", "curves_to_csv"]
+
+
+def explain_report(report: FeedbackReport, *, max_features: int | None = None) -> str:
+    """Render a feedback report as plain-language guidance.
+
+    Features are ordered by peak disagreement so the operator reads the
+    most confusing feature first; ``max_features`` truncates the tail.
+    """
+    profiles = sorted(report.profiles, key=lambda p: p.max_std, reverse=True)
+    if max_features is not None:
+        profiles = profiles[:max_features]
+    lines = [
+        "=== AutoML feedback: where the models disagree ===",
+        f"Committee: {report.committee_size} models.  Disagreement threshold T = {report.threshold:.4g}.",
+        "",
+        "The committee's models were each asked what they learned about every",
+        "feature (its ALE curve).  Where their answers diverge, the training",
+        "data was not enough to pin the relationship down — more samples from",
+        "those value ranges are likely to help.",
+        "",
+    ]
+    for profile in profiles:
+        intervals = profile.high_variance_intervals(report.threshold)
+        lines.append(f"Feature '{profile.domain.name}' "
+                     f"(domain {profile.domain.interval}, peak disagreement {profile.max_std:.3f}):")
+        if intervals:
+            lines.append(f"  -> models are confused when {profile.domain.name} ∈ {intervals}")
+            lines.append("     Suggestion: label additional samples from this range.")
+        else:
+            lines.append("  -> models agree across the whole range; no extra data needed here.")
+    lines.append("")
+    if report.region:
+        lines.append("Combined sampling region (union of half-space systems A_i x <= b_i):")
+        lines.append(report.region.describe())
+        lines.append("")
+        lines.append("You know your network: drop any range that contradicts domain knowledge")
+        lines.append("(e.g. noisy kernel-assigned source ports) before collecting data.")
+    else:
+        lines.append("No region exceeds the threshold; the committee is consistent everywhere.")
+    return "\n".join(lines)
+
+
+def ascii_ale_plot(
+    profile: FeatureDisagreement,
+    *,
+    width: int = 64,
+    height: int = 16,
+    class_index: int = 0,
+    threshold: float | None = None,
+) -> str:
+    """Terminal rendering of one feature's committee ALE curve.
+
+    ``*`` marks the committee mean, ``|`` the ±1 standard-deviation band;
+    columns whose disagreement exceeds ``threshold`` are flagged with ``^``
+    underneath — those are the ranges the feedback asks to sample.
+    """
+    if width < 16 or height < 5:
+        raise ValidationError("plot needs width >= 16 and height >= 5")
+    if not 0 <= class_index < profile.mean_curve.shape[1]:
+        raise ValidationError(f"class_index {class_index} out of range")
+    grid = profile.grid
+    mean = profile.mean_curve[:, class_index]
+    std = profile.std_by_class[:, class_index]
+
+    columns = np.clip(
+        ((grid - grid[0]) / max(grid[-1] - grid[0], 1e-12) * (width - 1)).astype(int), 0, width - 1
+    )
+    low, high = float((mean - std).min()), float((mean + std).max())
+    span = max(high - low, 1e-12)
+
+    def to_row(value: float) -> int:
+        return int(np.clip((high - value) / span * (height - 1), 0, height - 1))
+
+    canvas = [[" "] * width for _ in range(height)]
+    for k, col in enumerate(columns):
+        top, bottom = to_row(mean[k] + std[k]), to_row(mean[k] - std[k])
+        for row in range(min(top, bottom), max(top, bottom) + 1):
+            canvas[row][col] = "|"
+    for k, col in enumerate(columns):
+        canvas[to_row(mean[k])][col] = "*"
+
+    lines = [
+        f"ALE of '{profile.domain.name}' (class {class_index}); "
+        f"* mean, | ±1 std across {len(profile.curves)} models"
+    ]
+    for i, row in enumerate(canvas):
+        label = high - i * span / (height - 1)
+        lines.append(f"{label:+8.3f} {''.join(row)}")
+    if threshold is not None:
+        flags = [" "] * width
+        for k, col in enumerate(columns):
+            if profile.std_curve[k] > threshold:
+                flags[col] = "^"
+        lines.append(" " * 9 + "".join(flags) + f"   (^ disagreement > T={threshold:.3g})")
+    axis = f"{grid[0]:<12.4g}{' ' * max(0, width - 24)}{grid[-1]:>12.4g}"
+    lines.append(" " * 9 + axis)
+    return "\n".join(lines)
+
+
+def curves_to_csv(profile: FeatureDisagreement) -> str:
+    """Serialize one disagreement profile as CSV.
+
+    Columns: grid value, bin count, then per-class mean and std — the exact
+    series needed to regenerate the paper's Figure 1/2 in any plotting tool.
+    """
+    buffer = io.StringIO()
+    n_classes = profile.mean_curve.shape[1]
+    header = ["grid", "count"]
+    header += [f"mean_class{c}" for c in range(n_classes)]
+    header += [f"std_class{c}" for c in range(n_classes)]
+    buffer.write(",".join(header) + "\n")
+    for k in range(profile.grid.shape[0]):
+        row = [f"{profile.grid[k]:.10g}", str(int(profile.counts[k]))]
+        row += [f"{profile.mean_curve[k, c]:.10g}" for c in range(n_classes)]
+        row += [f"{profile.std_by_class[k, c]:.10g}" for c in range(n_classes)]
+        buffer.write(",".join(row) + "\n")
+    return buffer.getvalue()

@@ -1,0 +1,102 @@
+"""Partial Dependence Plots (PDP) — the alternative interpreter.
+
+The paper's algorithm is interpreter-agnostic: *"we apply a model-agnostic
+interpretation algorithm. We use ALE in this work"* (§3).  PDP (Friedman
+2001) is the obvious alternative: the expected model output with one
+feature forced to a grid value, averaged over the empirical distribution
+of the remaining features,
+
+    PDP_j(v) = (1/n) Σᵢ f(v, x_i,−j).
+
+PDP is easier to explain but known to mislead under correlated features
+(it evaluates the model far off the data manifold), which is why the paper
+prefers ALE.  The curves are returned in the same :class:`ALECurve`
+container (centered the same way) so :class:`repro.core.feedback.AleFeedback`
+can swap interpreters via its ``interpreter`` argument — and the ablation
+benchmark can compare the two on correlated data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .ale import ALECurve
+
+__all__ = ["pdp_curve", "pdp_curves_for_models"]
+
+
+def pdp_curve(
+    model,
+    X: np.ndarray,
+    feature_index: int,
+    edges: np.ndarray,
+    *,
+    feature_name: str | None = None,
+    max_background: int = 512,
+) -> ALECurve:
+    """Compute a centered partial-dependence curve on an ALE-style grid.
+
+    The curve is evaluated at the right edge of every bin (matching the
+    ALE convention so the two interpreters are directly comparable on a
+    shared grid) and centered to count-weighted zero mean.
+
+    ``max_background`` caps the background sample for the expectation; the
+    first rows of ``X`` are used (callers pass shuffled data).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValidationError("X must be 2-dimensional")
+    if not 0 <= feature_index < X.shape[1]:
+        raise ValidationError(f"feature_index {feature_index} out of range for {X.shape[1]} features")
+    edges = np.asarray(edges, dtype=np.float64)
+    if edges.ndim != 1 or edges.size < 2:
+        raise ValidationError("edges must be a 1-D array with at least 2 entries")
+    if max_background < 1:
+        raise ValidationError(f"max_background must be >= 1, got {max_background}")
+
+    background = X[:max_background]
+    n_bins = edges.size - 1
+    grid = edges[1:]
+
+    # One big batch: background replicated per grid value.
+    batch = np.repeat(background, grid.size, axis=0)
+    batch[:, feature_index] = np.tile(grid, background.shape[0])
+    proba = model.predict_proba(batch)
+    n_classes = proba.shape[1]
+    values = proba.reshape(background.shape[0], grid.size, n_classes).mean(axis=0)
+
+    column = X[:, feature_index]
+    bins = np.clip(np.searchsorted(edges, column, side="right") - 1, 0, n_bins - 1)
+    counts = np.bincount(bins, minlength=n_bins)
+
+    center = (counts[:, None] * values).sum(axis=0) / counts.sum()
+    return ALECurve(
+        feature_index=feature_index,
+        feature_name=feature_name or f"feature_{feature_index}",
+        edges=edges,
+        values=values - center,
+        counts=counts,
+    )
+
+
+def pdp_curves_for_models(
+    models,
+    X: np.ndarray,
+    feature_index: int,
+    edges: np.ndarray,
+    *,
+    feature_name: str | None = None,
+    max_background: int = 512,
+) -> list[ALECurve]:
+    """PDP curves of several models on a shared grid (committee input)."""
+    models = list(models)
+    if not models:
+        raise ValidationError("need at least one model")
+    return [
+        pdp_curve(
+            model, X, feature_index, edges,
+            feature_name=feature_name, max_background=max_background,
+        )
+        for model in models
+    ]

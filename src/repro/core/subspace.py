@@ -1,0 +1,335 @@
+"""Feature-subspace algebra: intervals, boxes and half-space systems.
+
+The paper expresses its feedback as a union of linear systems
+``∪ᵢ Aᵢx ≤ bᵢ`` (§3, step 5).  Because the disagreement analysis is
+per-feature, every component the algorithm emits is an axis-aligned *slab*
+(one feature constrained to an interval, the rest free within their
+domain), i.e. a box.  This module provides the general machinery:
+
+- :class:`Interval` / :class:`IntervalUnion` — 1-D ranges with set algebra;
+- :class:`FeatureDomain` — a named feature with its valid range;
+- :class:`Box` — a product of per-feature intervals, convertible to
+  ``(A, b)``;
+- :class:`SubspaceUnion` — a union of boxes supporting membership tests,
+  volume computation and uniform sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import SubspaceError
+from ..rng import RandomState, check_random_state
+
+__all__ = ["Interval", "IntervalUnion", "FeatureDomain", "Box", "SubspaceUnion"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[low, high]`` on the real line."""
+
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if not np.isfinite(self.low) or not np.isfinite(self.high):
+            raise SubspaceError(f"interval bounds must be finite, got [{self.low}, {self.high}]")
+        if self.low > self.high:
+            raise SubspaceError(f"interval low {self.low} exceeds high {self.high}")
+
+    @property
+    def length(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value) -> np.ndarray | bool:
+        value = np.asarray(value)
+        result = (value >= self.low) & (value <= self.high)
+        return bool(result) if result.ndim == 0 else result
+
+    def intersects(self, other: "Interval") -> bool:
+        return self.low <= other.high and other.low <= self.high
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        if not self.intersects(other):
+            return None
+        return Interval(max(self.low, other.low), min(self.high, other.high))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if self.length == 0:
+            return np.full(n, self.low)
+        return rng.uniform(self.low, self.high, size=n)
+
+    def __str__(self) -> str:
+        return f"[{self.low:g}, {self.high:g}]"
+
+
+class IntervalUnion:
+    """A finite union of intervals, kept sorted and merged.
+
+    Adjacent or overlapping members are coalesced on construction, so the
+    canonical form is unique and comparisons in tests are stable.
+    """
+
+    def __init__(self, intervals: Iterable[Interval] = ()):
+        merged: list[Interval] = []
+        for interval in sorted(intervals, key=lambda iv: (iv.low, iv.high)):
+            if merged and interval.low <= merged[-1].high:
+                merged[-1] = Interval(merged[-1].low, max(merged[-1].high, interval.high))
+            else:
+                merged.append(interval)
+        self.intervals: tuple[Interval, ...] = tuple(merged)
+
+    def __bool__(self) -> bool:
+        return bool(self.intervals)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def __iter__(self):
+        return iter(self.intervals)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IntervalUnion) and self.intervals == other.intervals
+
+    @property
+    def total_length(self) -> float:
+        return float(sum(interval.length for interval in self.intervals))
+
+    def contains(self, value) -> np.ndarray | bool:
+        value = np.asarray(value, dtype=np.float64)
+        result = np.zeros(value.shape, dtype=bool)
+        for interval in self.intervals:
+            result |= (value >= interval.low) & (value <= interval.high)
+        return bool(result) if result.ndim == 0 else result
+
+    def union(self, other: "IntervalUnion") -> "IntervalUnion":
+        return IntervalUnion([*self.intervals, *other.intervals])
+
+    def intersection(self, other: "IntervalUnion") -> "IntervalUnion":
+        pieces = []
+        for a in self.intervals:
+            for b in other.intervals:
+                piece = a.intersection(b)
+                if piece is not None:
+                    pieces.append(piece)
+        return IntervalUnion(pieces)
+
+    def clip(self, low: float, high: float) -> "IntervalUnion":
+        return self.intersection(IntervalUnion([Interval(low, high)]))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` points uniformly over the union (by length)."""
+        if not self.intervals:
+            raise SubspaceError("cannot sample from an empty interval union")
+        lengths = np.array([interval.length for interval in self.intervals])
+        if lengths.sum() == 0:
+            # All members are points; sample among them uniformly.
+            picks = rng.integers(0, len(self.intervals), size=n)
+            return np.array([self.intervals[i].low for i in picks])
+        weights = lengths / lengths.sum()
+        picks = rng.choice(len(self.intervals), size=n, p=weights)
+        return np.array([float(self.intervals[i].sample(1, rng)[0]) for i in picks])
+
+    def __str__(self) -> str:
+        return " ∪ ".join(str(interval) for interval in self.intervals) if self.intervals else "∅"
+
+    def __repr__(self) -> str:
+        return f"IntervalUnion({list(self.intervals)!r})"
+
+
+@dataclass(frozen=True)
+class FeatureDomain:
+    """A named feature with its valid value range.
+
+    ``integer`` marks features that only take integer values (ports, flow
+    counts); sampling rounds accordingly.
+    """
+
+    name: str
+    low: float
+    high: float
+    integer: bool = False
+
+    def __post_init__(self):
+        if self.low >= self.high:
+            raise SubspaceError(f"domain for {self.name!r} is empty: [{self.low}, {self.high}]")
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.low, self.high)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        values = rng.uniform(self.low, self.high, size=n)
+        return np.round(values) if self.integer else values
+
+
+class Box:
+    """An axis-aligned box: per-feature interval constraints over a domain.
+
+    Features not explicitly constrained span their full domain.  The box is
+    exactly one ``Ax ≤ b`` system (two rows per constrained feature).
+    """
+
+    def __init__(self, domains: Sequence[FeatureDomain], constraints: dict[int, Interval]):
+        self.domains = tuple(domains)
+        clipped: dict[int, Interval] = {}
+        for index, interval in constraints.items():
+            if not 0 <= index < len(self.domains):
+                raise SubspaceError(f"constraint on feature {index} out of range")
+            domain = self.domains[index]
+            piece = interval.intersection(domain.interval)
+            if piece is None:
+                raise SubspaceError(
+                    f"constraint {interval} on {domain.name!r} lies outside its domain {domain.interval}"
+                )
+            clipped[index] = piece
+        self.constraints = dict(sorted(clipped.items()))
+
+    @property
+    def n_features(self) -> int:
+        return len(self.domains)
+
+    def interval_for(self, index: int) -> Interval:
+        return self.constraints.get(index, self.domains[index].interval)
+
+    def volume(self, *, relative: bool = True) -> float:
+        """Product of edge lengths; ``relative`` normalizes by the domain box."""
+        volume = 1.0
+        for index, domain in enumerate(self.domains):
+            edge = self.interval_for(index).length
+            if relative:
+                edge /= domain.interval.length
+            volume *= edge
+        return float(volume)
+
+    def contains(self, X) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != self.n_features:
+            raise SubspaceError(f"expected {self.n_features} features, got {X.shape[1]}")
+        result = np.ones(X.shape[0], dtype=bool)
+        for index, interval in self.constraints.items():
+            result &= interval.contains(X[:, index])
+        return result
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        columns = []
+        for index, domain in enumerate(self.domains):
+            interval = self.interval_for(index)
+            values = interval.sample(n, rng)
+            columns.append(np.round(values) if domain.integer else values)
+        return np.column_stack(columns)
+
+    def as_halfspaces(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(A, b)`` with ``Ax ≤ b`` describing the constrained axes.
+
+        Only explicitly constrained features contribute rows, matching the
+        paper's notation where the domain box is implicit.
+        """
+        rows, bounds = [], []
+        for index, interval in self.constraints.items():
+            upper = np.zeros(self.n_features)
+            upper[index] = 1.0
+            rows.append(upper)
+            bounds.append(interval.high)
+            lower = np.zeros(self.n_features)
+            lower[index] = -1.0
+            rows.append(lower)
+            bounds.append(-interval.low)
+        if not rows:
+            return np.zeros((0, self.n_features)), np.zeros(0)
+        return np.vstack(rows), np.asarray(bounds)
+
+    def describe(self) -> str:
+        if not self.constraints:
+            return "entire domain"
+        parts = [f"{self.domains[i].name} ∈ {interval}" for i, interval in self.constraints.items()]
+        return " and ".join(parts)
+
+
+class SubspaceUnion:
+    """A union of boxes over a shared feature domain list (``∪ᵢ Aᵢx ≤ bᵢ``)."""
+
+    def __init__(self, domains: Sequence[FeatureDomain], boxes: Iterable[Box] = ()):
+        self.domains = tuple(domains)
+        self.boxes: list[Box] = []
+        for box in boxes:
+            self.add(box)
+
+    def add(self, box: Box) -> None:
+        if box.domains != self.domains:
+            raise SubspaceError("box domains do not match the union's domains")
+        self.boxes.append(box)
+
+    def __bool__(self) -> bool:
+        return bool(self.boxes)
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    def __iter__(self):
+        return iter(self.boxes)
+
+    @property
+    def n_features(self) -> int:
+        return len(self.domains)
+
+    def contains(self, X) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        result = np.zeros(X.shape[0], dtype=bool)
+        for box in self.boxes:
+            result |= box.contains(X)
+        return result
+
+    def volume(self) -> float:
+        """Relative volume of the union, estimated exactly for disjoint
+        boxes and by inclusion-exclusion-free Monte Carlo otherwise."""
+        if not self.boxes:
+            return 0.0
+        if len(self.boxes) == 1:
+            return self.boxes[0].volume()
+        # Monte Carlo over the domain box: cheap, unbiased, and adequate for
+        # the diagnostics this is used for (threshold sweeps).
+        rng = np.random.default_rng(0)
+        samples = np.column_stack([domain.sample(4096, rng) for domain in self.domains])
+        return float(np.mean(self.contains(samples)))
+
+    def sample(self, n: int, rng_or_seed: RandomState = None) -> np.ndarray:
+        """Draw ``n`` points uniformly from the union.
+
+        Boxes are chosen proportionally to their relative volume, then a
+        point is drawn uniformly inside the chosen box and rejected if a
+        previously considered box already covers it (avoiding density
+        doubling on overlaps).
+        """
+        if not self.boxes:
+            raise SubspaceError("cannot sample from an empty subspace union")
+        rng = check_random_state(rng_or_seed)
+        volumes = np.array([max(box.volume(), 1e-12) for box in self.boxes])
+        weights = volumes / volumes.sum()
+        points = np.empty((n, self.n_features))
+        filled = 0
+        attempts = 0
+        while filled < n:
+            attempts += 1
+            if attempts > 1000 * n:
+                raise SubspaceError("rejection sampling failed to converge; boxes may be degenerate")
+            box_index = int(rng.choice(len(self.boxes), p=weights))
+            point = self.boxes[box_index].sample(1, rng)[0]
+            earlier = any(self.boxes[j].contains(point)[0] for j in range(box_index))
+            if earlier:
+                continue
+            points[filled] = point
+            filled += 1
+        return points
+
+    def as_halfspaces(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """The ``∪ᵢ Aᵢx ≤ bᵢ`` form: one ``(A, b)`` pair per box."""
+        return [box.as_halfspaces() for box in self.boxes]
+
+    def describe(self) -> str:
+        if not self.boxes:
+            return "∅ (no region exceeds the threshold)"
+        return "\n".join(f"  region {i + 1}: {box.describe()}" for i, box in enumerate(self.boxes))

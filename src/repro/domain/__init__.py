@@ -1,0 +1,25 @@
+"""Domain customization for AutoML (the paper's §1 vision).
+
+- :class:`DomainSpec` — operator priors (independence, monotonicity,
+  irrelevance);
+- :class:`StructuredGaussianClassifier` — Gaussian MLE with operator-masked
+  covariance (the §1 straw-man);
+- :class:`TopologyPriorBuilder` — independence groups implied by network
+  topology;
+- :class:`DomainCustomizedAutoML` — the wrapper applying all of it to the
+  AutoML search.
+"""
+
+from .gaussian import StructuredGaussianClassifier
+from .priors import DECREASING, INCREASING, DomainSpec
+from .topology import TopologyPriorBuilder
+from .wrapper import DomainCustomizedAutoML
+
+__all__ = [
+    "DomainSpec",
+    "INCREASING",
+    "DECREASING",
+    "StructuredGaussianClassifier",
+    "TopologyPriorBuilder",
+    "DomainCustomizedAutoML",
+]

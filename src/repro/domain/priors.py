@@ -1,0 +1,124 @@
+"""Domain-knowledge priors an operator can hand to AutoML (paper §1).
+
+The paper's vision: operators cannot write ML code, but they *can* state
+facts about their network — "these features are independent", "latency can
+only increase with queue depth", "this counter is noise".  A
+:class:`DomainSpec` captures exactly those three kinds of statement:
+
+- **independence groups** — features in different groups are conditionally
+  independent given the class (the straw-man of §1: remove Bayes-net edges
+  / zero covariance entries);
+- **monotonicity** — the label's likelihood moves monotonically with a
+  feature (checked against candidate models' ALE curves);
+- **irrelevant features** — drop before searching.
+
+:class:`repro.domain.wrapper.DomainCustomizedAutoML` consumes the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import ValidationError
+
+__all__ = ["DomainSpec", "INCREASING", "DECREASING"]
+
+INCREASING = 1
+DECREASING = -1
+
+
+@dataclass
+class DomainSpec:
+    """Operator-provided domain knowledge over named features.
+
+    Parameters
+    ----------
+    feature_names:
+        The dataset's feature names, in column order.
+    independence_groups:
+        Partition (possibly partial) of feature names; features in
+        different groups are treated as class-conditionally independent.
+        Unlisted features form implicit singleton groups.
+    monotone:
+        ``{feature: INCREASING | DECREASING}`` — the expected direction of
+        the feature's effect on the positive class.
+    irrelevant:
+        Features to exclude from modeling entirely.
+    """
+
+    feature_names: list[str]
+    independence_groups: list[set[str]] = field(default_factory=list)
+    monotone: dict[str, int] = field(default_factory=dict)
+    irrelevant: list[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        known = set(self.feature_names)
+        if len(known) != len(self.feature_names):
+            raise ValidationError(f"duplicate feature names: {self.feature_names}")
+        seen: set[str] = set()
+        for group in self.independence_groups:
+            unknown = set(group) - known
+            if unknown:
+                raise ValidationError(f"independence group references unknown features: {sorted(unknown)}")
+            overlap = set(group) & seen
+            if overlap:
+                raise ValidationError(f"features appear in multiple independence groups: {sorted(overlap)}")
+            seen |= set(group)
+        for name, direction in self.monotone.items():
+            if name not in known:
+                raise ValidationError(f"monotone constraint on unknown feature {name!r}")
+            if direction not in (INCREASING, DECREASING):
+                raise ValidationError(f"monotone direction must be ±1, got {direction} for {name!r}")
+        unknown = set(self.irrelevant) - known
+        if unknown:
+            raise ValidationError(f"irrelevant list references unknown features: {sorted(unknown)}")
+        if set(self.irrelevant) & set(self.monotone):
+            raise ValidationError("a feature cannot be both irrelevant and monotonicity-constrained")
+
+    # -- derived views ----------------------------------------------------
+    def kept_features(self) -> list[str]:
+        """Feature names surviving the irrelevance filter, in order."""
+        dropped = set(self.irrelevant)
+        return [name for name in self.feature_names if name not in dropped]
+
+    def kept_indices(self) -> list[int]:
+        dropped = set(self.irrelevant)
+        return [i for i, name in enumerate(self.feature_names) if name not in dropped]
+
+    def group_of(self, feature: str) -> frozenset[str]:
+        """The independence group containing ``feature`` (singleton if unlisted)."""
+        if feature not in self.feature_names:
+            raise ValidationError(f"unknown feature {feature!r}")
+        for group in self.independence_groups:
+            if feature in group:
+                return frozenset(group)
+        return frozenset({feature})
+
+    def covariance_mask(self) -> list[list[bool]]:
+        """Boolean mask over kept features: may feature i covary with j?
+
+        ``True`` entries are free covariance parameters; ``False`` entries
+        are pinned to zero — the §1 straw-man applied to a Gaussian MLE.
+        """
+        kept = self.kept_features()
+        mask = []
+        for a in kept:
+            row = []
+            group_a = self.group_of(a)
+            for b in kept:
+                row.append(a == b or b in group_a)
+            mask.append(row)
+        return mask
+
+    def describe(self) -> str:
+        lines = [f"DomainSpec over {len(self.feature_names)} features:"]
+        if self.irrelevant:
+            lines.append(f"  irrelevant: {sorted(self.irrelevant)}")
+        for group in self.independence_groups:
+            lines.append(f"  dependent group: {sorted(group)}")
+        for name, direction in sorted(self.monotone.items()):
+            arrow = "increasing" if direction == INCREASING else "decreasing"
+            lines.append(f"  monotone: {name} ({arrow})")
+        if len(lines) == 1:
+            lines.append("  (no constraints)")
+        return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Inferring feature-independence priors from network topology (paper §1).
+
+The paper suggests the network's logical/physical topology is an *implicit*
+indicator of feature relationships: measurements taken at entities that
+share no path cannot causally influence one another, so they are a
+reasonable candidate for a class-conditional independence prior.
+
+:class:`TopologyPriorBuilder` maps features onto the entities (nodes) of a
+:class:`networkx.Graph` and derives independence groups from graph
+structure: features land in the same dependence group when their entities
+are within ``radius`` hops of each other (``radius=None`` uses connected
+components).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..exceptions import ValidationError
+from .priors import DomainSpec
+
+__all__ = ["TopologyPriorBuilder"]
+
+
+class TopologyPriorBuilder:
+    """Builds a :class:`DomainSpec` from a topology graph.
+
+    Parameters
+    ----------
+    topology:
+        Any networkx graph whose nodes are network entities (switches,
+        links, hosts...).
+    feature_entity:
+        ``{feature_name: node}`` — where each measurement is taken.
+        Features may share a node (e.g. multiple counters of one switch).
+    """
+
+    def __init__(self, topology: nx.Graph, feature_entity: dict[str, object]):
+        if topology.number_of_nodes() == 0:
+            raise ValidationError("topology graph is empty")
+        missing = [name for name, node in feature_entity.items() if node not in topology]
+        if missing:
+            raise ValidationError(f"features mapped to nodes absent from the topology: {missing}")
+        self.topology = topology
+        self.feature_entity = dict(feature_entity)
+
+    def dependence_groups(self, *, radius: int | None = None) -> list[set[str]]:
+        """Group features whose entities are topologically close.
+
+        With ``radius=None`` two features are dependent iff their entities
+        share a connected component; with an integer radius, iff their
+        entities are within ``radius`` hops.
+        """
+        if radius is not None and radius < 0:
+            raise ValidationError(f"radius must be >= 0, got {radius}")
+        names = list(self.feature_entity)
+        parent = {name: name for name in names}
+
+        def find(a: str) -> str:
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        def union(a: str, b: str) -> None:
+            parent[find(a)] = find(b)
+
+        if radius is None:
+            component_of = {}
+            for i, component in enumerate(nx.connected_components(self.topology.to_undirected())):
+                for node in component:
+                    component_of[node] = i
+            for i, a in enumerate(names):
+                for b in names[i + 1 :]:
+                    if component_of[self.feature_entity[a]] == component_of[self.feature_entity[b]]:
+                        union(a, b)
+        else:
+            undirected = self.topology.to_undirected()
+            for i, a in enumerate(names):
+                for b in names[i + 1 :]:
+                    node_a, node_b = self.feature_entity[a], self.feature_entity[b]
+                    if node_a == node_b:
+                        union(a, b)
+                        continue
+                    try:
+                        distance = nx.shortest_path_length(undirected, node_a, node_b)
+                    except nx.NetworkXNoPath:
+                        continue
+                    if distance <= radius:
+                        union(a, b)
+
+        groups: dict[str, set[str]] = {}
+        for name in names:
+            groups.setdefault(find(name), set()).add(name)
+        return [group for group in groups.values()]
+
+    def build_spec(
+        self,
+        feature_names: list[str],
+        *,
+        radius: int | None = None,
+        monotone: dict[str, int] | None = None,
+        irrelevant: list[str] | None = None,
+    ) -> DomainSpec:
+        """Assemble the full :class:`DomainSpec` (topology + extra priors).
+
+        ``feature_names`` fixes column order; features without an entity
+        mapping become singleton groups (no assumed dependence).
+        """
+        unknown = set(self.feature_entity) - set(feature_names)
+        if unknown:
+            raise ValidationError(f"feature_entity maps unknown features: {sorted(unknown)}")
+        groups = [group for group in self.dependence_groups(radius=radius) if len(group) > 1]
+        return DomainSpec(
+            feature_names=list(feature_names),
+            independence_groups=groups,
+            monotone=dict(monotone or {}),
+            irrelevant=list(irrelevant or []),
+        )

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NotFittedError(ReproError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-provided data or parameters are invalid."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Warning emitted when an iterative solver stops before converging."""
+
+
+class SearchBudgetError(ReproError):
+    """Raised when an AutoML search is configured with an impossible budget."""
+
+
+class EmulationError(ReproError):
+    """Raised when a network emulation scenario is malformed or diverges."""
+
+
+class SubspaceError(ReproError, ValueError):
+    """Raised for invalid subspace algebra operations (e.g. empty domains)."""

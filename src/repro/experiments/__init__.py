@@ -1,0 +1,47 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+- :func:`run_table1` — Table 1 (Scream-vs-rest, 9 algorithms, Wilcoxon);
+- :func:`run_ucl` — §4.2 firewall results;
+- :func:`run_figure1` / :func:`run_figure2` — the ALE disagreement plots;
+- :func:`sweep_thresholds` — §4's threshold-setting analysis.
+"""
+
+from .figures import FigureArtifact, FigureConfig, run_figure1, run_figure2
+from .paper import PAPER_TABLE1, TABLE1_CLAIMS, PaperRow, ShapeClaim, compare_to_paper, format_comparison
+from .records import ExperimentRecord, save_record, scores_to_csv
+from .runner import STRATEGIES, AugmentationContext, AugmentationResult, run_strategy
+from .table1 import PAPER_SCALE, TABLE1_ALGORITHMS, Table1Config, format_paper_table, run_table1
+from .threshold_sweep import ThresholdSweepRow, sweep_thresholds, sweep_to_csv
+from .ucl import PAPER_SCALE_UCL, UCL_ALGORITHMS, UCLConfig, run_ucl
+
+__all__ = [
+    "run_table1",
+    "Table1Config",
+    "PAPER_TABLE1",
+    "TABLE1_CLAIMS",
+    "PaperRow",
+    "ShapeClaim",
+    "compare_to_paper",
+    "format_comparison",
+    "PAPER_SCALE",
+    "TABLE1_ALGORITHMS",
+    "format_paper_table",
+    "run_ucl",
+    "UCLConfig",
+    "PAPER_SCALE_UCL",
+    "UCL_ALGORITHMS",
+    "run_figure1",
+    "run_figure2",
+    "FigureConfig",
+    "FigureArtifact",
+    "sweep_thresholds",
+    "sweep_to_csv",
+    "ThresholdSweepRow",
+    "ExperimentRecord",
+    "save_record",
+    "scores_to_csv",
+    "STRATEGIES",
+    "AugmentationContext",
+    "AugmentationResult",
+    "run_strategy",
+]

@@ -1,0 +1,167 @@
+"""The paper's published numbers, and shape comparison against a run.
+
+``PAPER_TABLE1`` encodes Table 1 of the paper verbatim;
+:func:`compare_to_paper` checks a measured :class:`SignificanceTable`
+against the paper's *qualitative* claims (directions and orderings, not
+absolute values) and reports which held.  EXPERIMENTS.md is the prose
+version of this module's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ValidationError
+from ..stats.significance import SignificanceTable
+
+__all__ = ["PaperRow", "PAPER_TABLE1", "ShapeClaim", "TABLE1_CLAIMS", "compare_to_paper"]
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of the paper's Table 1 (balanced accuracy, percent)."""
+
+    algorithm: str
+    mean: float
+    std: float
+    p_vs_no_feedback: float | None
+
+
+PAPER_TABLE1: dict[str, PaperRow] = {
+    row.algorithm: row
+    for row in (
+        PaperRow("no_feedback", 68.7, 4.05, None),
+        PaperRow("within_ale", 71.2, 4.3, 0.0009),
+        PaperRow("cross_ale", 75.0, 4.4, 3.33e-6),
+        PaperRow("uniform", 64.1, 4.1, 0.99),
+        PaperRow("confidence", 67.1, 5.5, 0.99),
+        PaperRow("upsampling", 76.7, 2.7, 2.38e-7),
+        PaperRow("qbc", 68.9, 5.1, 0.093),
+        PaperRow("within_ale_pool", 67.4, 4.9, 0.99),
+        PaperRow("cross_ale_pool", 69.18, 3.9, 0.123),
+    )
+}
+
+
+@dataclass(frozen=True)
+class ShapeClaim:
+    """One qualitative claim of the paper, testable on a measured table.
+
+    ``kind``:
+      - ``'better'``  — mean(a) > mean(b);
+      - ``'significant'`` — P(b, a) < alpha (a significantly beats b);
+      - ``'within'``  — |mean(a) − mean(b)| <= margin.
+    """
+
+    claim_id: str
+    description: str
+    kind: str
+    a: str
+    b: str
+    margin: float = 0.0
+    alpha: float = 0.05
+
+    def holds(self, table: SignificanceTable) -> bool:
+        names = set(table.names())
+        if self.a not in names or self.b not in names:
+            raise ValidationError(f"claim {self.claim_id}: table lacks {self.a!r} or {self.b!r}")
+        mean_a = table.scores(self.a).mean
+        mean_b = table.scores(self.b).mean
+        if self.kind == "better":
+            return mean_a > mean_b
+        if self.kind == "significant":
+            return table.p_value(self.b, self.a) < self.alpha
+        if self.kind == "within":
+            return abs(mean_a - mean_b) <= self.margin
+        raise ValidationError(f"unknown claim kind {self.kind!r}")
+
+
+TABLE1_CLAIMS: list[ShapeClaim] = [
+    ShapeClaim(
+        "ale_beats_baseline_within",
+        "Within-ALE significantly beats the raw training data",
+        "significant",
+        "within_ale",
+        "no_feedback",
+    ),
+    ShapeClaim(
+        "ale_beats_baseline_cross",
+        "Cross-ALE significantly beats the raw training data",
+        "significant",
+        "cross_ale",
+        "no_feedback",
+    ),
+    ShapeClaim(
+        "ale_beats_uniform",
+        "ALE-placed data beats uniformly placed data",
+        "better",
+        "within_ale",
+        "uniform",
+    ),
+    ShapeClaim(
+        "upsampling_beats_baseline",
+        "Upsampling (fixing imbalance) beats the raw training data",
+        "significant",
+        "upsampling",
+        "no_feedback",
+    ),
+    ShapeClaim(
+        "cross_ale_near_upsampling",
+        "Cross-ALE lands within ~2 points of upsampling (paper: 75.0 vs 76.7)",
+        "within",
+        "cross_ale",
+        "upsampling",
+        margin=0.02,
+    ),
+    ShapeClaim(
+        "pool_no_better_than_free",
+        "Pool restriction does not beat whole-subspace sampling",
+        "within",
+        "within_ale_pool",
+        "within_ale",
+        margin=0.05,
+    ),
+    ShapeClaim(
+        "ale_at_least_qbc_level",
+        "Unrestricted ALE beats QBC (paper); checked as a soft ordering",
+        "better",
+        "within_ale",
+        "qbc",
+    ),
+    ShapeClaim(
+        "ale_at_least_confidence_level",
+        "Unrestricted ALE beats confidence sampling (paper); soft ordering",
+        "better",
+        "within_ale",
+        "confidence",
+    ),
+]
+
+
+def compare_to_paper(
+    table: SignificanceTable,
+    *,
+    claims: list[ShapeClaim] | None = None,
+) -> dict[str, bool]:
+    """Evaluate each qualitative Table-1 claim on a measured table.
+
+    Returns ``{claim_id: held}``; claims referring to algorithms absent
+    from the table are skipped.
+    """
+    results: dict[str, bool] = {}
+    names = set(table.names())
+    for claim in claims if claims is not None else TABLE1_CLAIMS:
+        if claim.a not in names or claim.b not in names:
+            continue
+        results[claim.claim_id] = claim.holds(table)
+    return results
+
+
+def format_comparison(table: SignificanceTable) -> str:
+    """Human-readable verdict sheet for a measured Table 1 run."""
+    lines = ["Shape comparison against the paper's Table 1:"]
+    by_id = {claim.claim_id: claim for claim in TABLE1_CLAIMS}
+    for claim_id, held in compare_to_paper(table).items():
+        mark = "✓" if held else "✗"
+        lines.append(f"  {mark} {by_id[claim_id].description}")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Result records and serialization for the experiment harness."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..stats.significance import AlgorithmScores, SignificanceTable
+
+__all__ = ["ExperimentRecord", "scores_to_csv", "save_record"]
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's reproducible output bundle.
+
+    ``metadata`` carries the configuration that produced the numbers;
+    ``tables`` maps artifact names (e.g. ``'table1'``) to rendered text;
+    ``series`` maps figure names to CSV strings.
+    """
+
+    experiment_id: str
+    metadata: dict = field(default_factory=dict)
+    tables: dict = field(default_factory=dict)
+    series: dict = field(default_factory=dict)
+    scores: dict = field(default_factory=dict)  # algorithm -> list of floats
+
+    def add_scores(self, table: SignificanceTable) -> None:
+        for algorithm in table.algorithms:
+            self.scores[algorithm.name] = algorithm.scores.tolist()
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "metadata": self.metadata,
+                "tables": self.tables,
+                "series": self.series,
+                "scores": self.scores,
+            },
+            indent=2,
+            default=_json_default,
+        )
+
+
+def _json_default(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"cannot serialize {type(value).__name__}")
+
+
+def scores_to_csv(table: SignificanceTable) -> str:
+    """Flat CSV of every (algorithm, test-set index, score) triple."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["algorithm", "index", "balanced_accuracy"])
+    for algorithm in table.algorithms:
+        for index, score in enumerate(algorithm.scores.tolist()):
+            writer.writerow([algorithm.name, index, f"{score:.6f}"])
+    return buffer.getvalue()
+
+
+def save_record(record: ExperimentRecord, directory: str | Path) -> Path:
+    """Write the record (JSON + any CSV series) under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{record.experiment_id}.json"
+    path.write_text(record.to_json())
+    for name, csv_text in record.series.items():
+        (directory / f"{record.experiment_id}_{name}.csv").write_text(csv_text)
+    return path

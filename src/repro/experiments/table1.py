@@ -1,0 +1,231 @@
+"""Table 1 reproduction: Scream-vs-rest balanced accuracy + significance.
+
+Runs all nine algorithms of the paper's Table 1 on the Scream-vs-rest
+dataset, with the paper's statistical protocol (20 test sets per repeat,
+one-sided Wilcoxon signed-rank p-values, ``α = 5 %``).
+
+``Table1Config`` defaults are scaled down to minutes-on-a-laptop;
+``PAPER_SCALE`` holds the paper's sizes (1161 train / +280 feedback / 4850
+test / 2000 pool / 10 repeats / 10 cross runs) for full-fidelity runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..automl.automl import AutoMLClassifier
+from ..core.feedback import AleFeedback
+from ..datasets.scream import LabeledDataset, ScreamOracle, generate_scream_dataset
+from ..datasets.splits import make_test_sets
+from ..exceptions import ValidationError
+from ..ml.metrics import accuracy
+from ..rng import check_random_state, spawn
+from ..stats.significance import AlgorithmScores, SignificanceTable
+from .records import ExperimentRecord, scores_to_csv
+from .runner import AugmentationContext, STRATEGIES, run_strategy
+
+__all__ = ["Table1Config", "PAPER_SCALE", "TABLE1_ALGORITHMS", "run_table1", "format_paper_table"]
+
+TABLE1_ALGORITHMS = [
+    "no_feedback",
+    "within_ale",
+    "cross_ale",
+    "uniform",
+    "confidence",
+    "upsampling",
+    "qbc",
+    "within_ale_pool",
+    "cross_ale_pool",
+]
+
+
+@dataclass(frozen=True)
+class Table1Config:
+    """Sizing/budget knobs for the Table 1 experiment."""
+
+    n_train: int = 350
+    n_test: int = 1000
+    n_pool: int = 500
+    n_feedback: int = 84
+    n_test_sets: int = 20
+    n_repeats: int = 3
+    cross_runs: int = 4
+    automl_iterations: int = 30
+    ensemble_size: int = 10
+    min_distinct_members: int = 4
+    grid_size: int = 24
+    threshold: float | None = None
+    threshold_scale: float = 2.0
+    engine: str = "fluid"
+    biased_train: bool = False
+    seed: int = 20211110
+
+    def total_samples(self) -> int:
+        return self.n_train + self.n_test + self.n_pool
+
+    def validate(self) -> None:
+        if min(self.n_train, self.n_test, self.n_pool, self.n_feedback) < 1:
+            raise ValidationError("all dataset sizes must be positive")
+        if self.n_test < self.n_test_sets:
+            raise ValidationError(f"cannot split {self.n_test} test rows into {self.n_test_sets} sets")
+        if self.cross_runs < 2:
+            raise ValidationError(f"cross_runs must be >= 2, got {self.cross_runs}")
+
+
+PAPER_SCALE = Table1Config(
+    n_train=1161,
+    n_test=4850,
+    n_pool=2000,
+    n_feedback=280,
+    n_repeats=10,
+    cross_runs=10,
+    automl_iterations=120,
+    ensemble_size=16,
+)
+
+# Generated datasets are reused across repeats (splits differ per repeat);
+# keyed by the generation parameters.
+_DATASET_CACHE: dict[tuple, LabeledDataset] = {}
+
+
+def _eval_dataset(config: Table1Config) -> LabeledDataset:
+    """Uniformly sampled scenarios: the test sets and the candidate pool."""
+    n = config.n_test + config.n_pool
+    key = ("uniform", n, config.engine, config.seed)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = generate_scream_dataset(
+            n, engine=config.engine, random_state=config.seed
+        )
+    return _DATASET_CACHE[key]
+
+
+def _train_dataset(config: Table1Config) -> LabeledDataset:
+    """The training reservoir each repeat draws its training set from.
+
+    With ``biased_train`` (default) scenarios come from the production-like
+    distribution of §2.2 — the operator's logs under-represent lossy,
+    congested conditions, which is exactly the blind spot the feedback is
+    meant to surface.  Sized at 2× ``n_train`` so repeats see different
+    training sets.
+    """
+    n = 2 * config.n_train
+    key = ("train", config.biased_train, n, config.engine, config.seed)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = generate_scream_dataset(
+            n, engine=config.engine, biased=config.biased_train, random_state=config.seed + 1
+        )
+    return _DATASET_CACHE[key]
+
+
+def run_table1(
+    config: Table1Config = Table1Config(),
+    *,
+    algorithms: list[str] | None = None,
+    progress=None,
+) -> tuple[SignificanceTable, ExperimentRecord]:
+    """Run the Table 1 experiment and return the significance table.
+
+    ``progress`` is an optional callable receiving status strings.
+    """
+    config.validate()
+    algorithms = list(algorithms) if algorithms is not None else list(TABLE1_ALGORITHMS)
+    unknown = set(algorithms) - set(STRATEGIES)
+    if unknown:
+        raise ValidationError(f"unknown algorithms: {sorted(unknown)}")
+    say = progress or (lambda message: None)
+
+    eval_dataset = _eval_dataset(config)
+    train_reservoir = _train_dataset(config)
+    oracle = ScreamOracle(engine=config.engine, random_state=config.seed + 2)
+    master_rng = check_random_state(config.seed + 3)
+    collected: dict[str, list[float]] = {name: [] for name in algorithms}
+
+    for repeat, repeat_rng in enumerate(spawn(master_rng, config.n_repeats)):
+        say(f"repeat {repeat + 1}/{config.n_repeats}")
+        train_order = repeat_rng.permutation(train_reservoir.n_samples)
+        train = train_reservoir.subset(train_order[: config.n_train])
+        order = repeat_rng.permutation(eval_dataset.n_samples)
+        test = eval_dataset.subset(order[: config.n_test])
+        pool = eval_dataset.subset(order[config.n_test :])
+        test_sets = make_test_sets(test, config.n_test_sets, random_state=repeat_rng)
+
+        def automl_factory(rng) -> AutoMLClassifier:
+            # Internal search/selection metric is plain accuracy — the
+            # AutoSklearn default the paper ran with.  Evaluation is
+            # balanced accuracy, so label imbalance hurts exactly the way
+            # Table 1 shows (uniform extra data can hurt; upsampling wins).
+            return AutoMLClassifier(
+                n_iterations=config.automl_iterations,
+                ensemble_size=config.ensemble_size,
+                min_distinct_members=config.min_distinct_members,
+                scorer=accuracy,
+                random_state=rng,
+            )
+
+        initial = automl_factory(repeat_rng).fit(train.X, train.y)
+        ctx = AugmentationContext(
+            train=train,
+            pool=pool,
+            oracle=oracle.label,
+            initial_automl=initial,
+            automl_factory=automl_factory,
+            n_feedback=config.n_feedback,
+            feedback=AleFeedback(
+                threshold=config.threshold,
+                threshold_scale=config.threshold_scale,
+                grid_size=config.grid_size,
+            ),
+            cross_runs=config.cross_runs,
+            rng=repeat_rng,
+        )
+        for name in algorithms:
+            scores, result = run_strategy(name, ctx, test_sets, random_state=repeat_rng)
+            collected[name].extend(scores)
+            say(
+                f"  {name}: mean bacc {float(np.mean(scores)):.3f} "
+                f"(+{result.points_added} pts{'; ' + result.detail if result.detail else ''})"
+            )
+
+    table = SignificanceTable([AlgorithmScores(name, np.asarray(collected[name])) for name in algorithms])
+    record = ExperimentRecord(
+        experiment_id="table1_scream_vs_rest",
+        metadata={
+            "config": {k: getattr(config, k) for k in Table1Config.__dataclass_fields__},
+            "paper_reference": "HotNets'21 Table 1",
+        },
+    )
+    record.tables["table1"] = format_paper_table(table)
+    record.series["scores"] = scores_to_csv(table)
+    record.add_scores(table)
+    return table, record
+
+
+def format_paper_table(table: SignificanceTable) -> str:
+    """Render the exact column layout of the paper's Table 1.
+
+    Columns: balanced accuracy, ``P(no feedback, X)``, ``P(X, within ALE)``
+    and ``P(X, cross ALE)``.
+    """
+    names = table.names()
+    headers = ["Algorithm (X)", "balanced accuracy", "P(no feedback, X)", "P(X, within ALE)", "P(X, cross ALE)"]
+    rows = []
+    for name in names:
+        cells = [name, table.scores(name).formatted()]
+        for worse, better in (
+            ("no_feedback", name),
+            (name, "within_ale"),
+            (name, "cross_ale"),
+        ):
+            if worse == better or worse not in names or better not in names:
+                cells.append("NA")
+            else:
+                cells.append(f"{table.p_value(worse, better):.3g}")
+        rows.append(cells)
+    widths = [max(len(row[i]) for row in [headers] + rows) for i in range(len(headers))]
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Threshold sensitivity (paper §4, "Setting the threshold").
+
+The paper's claim: lower thresholds yield larger feature subspaces (good
+when the sampling budget is high — more area, less overfitting), higher
+thresholds yield smaller, boundary-focused subspaces (good when the budget
+is low).  This experiment quantifies that trade-off by sweeping ``T`` as a
+multiple of the median heuristic and measuring the region the feedback
+returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.feedback import AleFeedback, FeedbackReport, median_threshold
+from ..core.subspace import Box, SubspaceUnion
+from ..exceptions import ValidationError
+from .records import ExperimentRecord
+
+__all__ = ["ThresholdSweepRow", "sweep_thresholds", "sweep_to_csv"]
+
+
+@dataclass
+class ThresholdSweepRow:
+    """Region geometry at one threshold setting."""
+
+    multiplier: float
+    threshold: float
+    n_regions: int
+    n_flagged_features: int
+    relative_volume: float
+    pool_hits: int | None = None
+
+
+def sweep_thresholds(
+    committee,
+    X,
+    domains,
+    *,
+    multipliers=(0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0),
+    grid_size: int = 24,
+    pool_X=None,
+) -> list[ThresholdSweepRow]:
+    """Measure the feedback region across threshold multipliers.
+
+    The disagreement profiles are computed once; only the thresholding is
+    re-applied, so the sweep is cheap.  ``pool_X`` optionally counts how
+    many fixed-pool candidates each region would admit.
+    """
+    if not multipliers:
+        raise ValidationError("need at least one multiplier")
+    base_report = AleFeedback(grid_size=grid_size).analyze(committee, X, domains)
+    base = median_threshold(base_report.profiles)
+    rows = []
+    for multiplier in multipliers:
+        if multiplier <= 0:
+            raise ValidationError(f"multipliers must be positive, got {multiplier}")
+        threshold = multiplier * base
+        region = SubspaceUnion(base_report.domains)
+        flagged = 0
+        for profile in base_report.profiles:
+            intervals = profile.high_variance_intervals(threshold)
+            if intervals:
+                flagged += 1
+            for interval in intervals:
+                region.add(Box(base_report.domains, {profile.feature_index: interval}))
+        rows.append(
+            ThresholdSweepRow(
+                multiplier=float(multiplier),
+                threshold=float(threshold),
+                n_regions=len(region),
+                n_flagged_features=flagged,
+                relative_volume=region.volume(),
+                pool_hits=int(region.contains(pool_X).sum()) if pool_X is not None and region else (0 if pool_X is not None else None),
+            )
+        )
+    return rows
+
+
+def sweep_to_csv(rows: list[ThresholdSweepRow]) -> str:
+    lines = ["multiplier,threshold,n_regions,n_flagged_features,relative_volume,pool_hits"]
+    for row in rows:
+        pool = "" if row.pool_hits is None else str(row.pool_hits)
+        lines.append(
+            f"{row.multiplier:g},{row.threshold:.6g},{row.n_regions},"
+            f"{row.n_flagged_features},{row.relative_volume:.6g},{pool}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,70 @@
+"""From-scratch machine-learning substrate.
+
+A compact, numpy-only reimplementation of the model families an
+AutoSklearn-style system searches over, plus the preprocessing, metrics and
+model-selection utilities the rest of the library needs.  The estimator
+protocol intentionally mirrors scikit-learn (``fit`` / ``predict`` /
+``predict_proba`` / ``get_params``).
+"""
+
+from .base import BaseEstimator, ClassifierMixin, check_array, check_is_fitted, check_X_y, clone
+from .boosting import GradientBoostingClassifier
+from .forest import ExtraTreesClassifier, RandomForestClassifier
+from .linear import LogisticRegression, softmax
+from .metrics import accuracy, balanced_accuracy, confusion_matrix, log_loss, macro_f1, precision_recall_f1
+from .model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_val_score,
+    partition_evenly,
+    stratified_split_indices,
+    train_test_split,
+)
+from .naive_bayes import GaussianNB, MultinomialNB
+from .neighbors import KNeighborsClassifier
+from .preprocessing import (
+    IdentityTransformer,
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    SimpleImputer,
+    StandardScaler,
+)
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "BaseEstimator",
+    "ClassifierMixin",
+    "clone",
+    "check_array",
+    "check_X_y",
+    "check_is_fitted",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "ExtraTreesClassifier",
+    "GradientBoostingClassifier",
+    "LogisticRegression",
+    "softmax",
+    "GaussianNB",
+    "MultinomialNB",
+    "KNeighborsClassifier",
+    "StandardScaler",
+    "MinMaxScaler",
+    "SimpleImputer",
+    "OneHotEncoder",
+    "LabelEncoder",
+    "IdentityTransformer",
+    "accuracy",
+    "balanced_accuracy",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "macro_f1",
+    "log_loss",
+    "train_test_split",
+    "stratified_split_indices",
+    "KFold",
+    "StratifiedKFold",
+    "cross_val_score",
+    "partition_evenly",
+]

@@ -1,0 +1,155 @@
+"""Estimator base classes and data-validation helpers.
+
+This module defines the minimal estimator protocol the rest of the library
+builds on.  It deliberately mirrors the scikit-learn conventions (``fit`` /
+``predict`` / ``predict_proba``, ``get_params`` / ``set_params``, trailing
+underscore for fitted attributes) so the code reads familiarly, but it is a
+from-scratch implementation on plain numpy.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import NotFittedError, ValidationError
+
+__all__ = [
+    "BaseEstimator",
+    "ClassifierMixin",
+    "clone",
+    "check_array",
+    "check_X_y",
+    "check_is_fitted",
+]
+
+
+def check_array(X: Any, *, name: str = "X", allow_1d: bool = False) -> np.ndarray:
+    """Validate ``X`` and return it as a float64 2-D array.
+
+    Rejects empty inputs and non-finite values with actionable messages.
+    With ``allow_1d`` a vector input is promoted to a single-column matrix.
+    """
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim == 1:
+        if not allow_1d:
+            raise ValidationError(f"{name} must be 2-dimensional, got a 1-D array; reshape(-1, 1) if intentional")
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got {arr.ndim} dimensions")
+    if arr.shape[0] == 0:
+        raise ValidationError(f"{name} has no samples")
+    if arr.shape[1] == 0:
+        raise ValidationError(f"{name} has no features")
+    if not np.isfinite(arr).all():
+        raise ValidationError(f"{name} contains NaN or infinite values; impute or drop them first")
+    return arr
+
+
+def check_X_y(X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix and label vector of matching length."""
+    X = check_array(X)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValidationError(f"y must be 1-dimensional, got {y.ndim} dimensions")
+    if y.shape[0] != X.shape[0]:
+        raise ValidationError(f"X and y disagree on sample count: {X.shape[0]} vs {y.shape[0]}")
+    return X, y
+
+
+def check_is_fitted(estimator: Any, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``estimator.attribute`` exists."""
+    if getattr(estimator, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(estimator).__name__} is not fitted yet; call fit() before using this method"
+        )
+
+
+class BaseEstimator:
+    """Base class providing parameter introspection and cloning.
+
+    Subclasses must accept all hyper-parameters as explicit keyword
+    arguments in ``__init__`` and store them verbatim on ``self`` under the
+    same names — ``get_params`` discovers them by introspecting the
+    signature.
+    """
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        if cls.__init__ is object.__init__:
+            return []  # parameterless estimator
+        init_signature = inspect.signature(cls.__init__)
+        skip = (inspect.Parameter.VAR_KEYWORD, inspect.Parameter.VAR_POSITIONAL)
+        return [
+            name
+            for name, parameter in init_signature.parameters.items()
+            if name != "self" and parameter.kind not in skip
+        ]
+
+    def get_params(self) -> dict[str, Any]:
+        """Return this estimator's hyper-parameters as a dict."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Set hyper-parameters; unknown names raise :class:`ValidationError`."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValidationError(
+                    f"invalid parameter {name!r} for {type(self).__name__}; valid parameters: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Return an unfitted copy of ``estimator`` with identical parameters.
+
+    Composite estimators (e.g. pipelines) that hold sub-estimators can
+    define their own ``clone`` method, which takes precedence.
+    """
+    custom = getattr(estimator, "clone", None)
+    if callable(custom):
+        return custom()
+    return type(estimator)(**estimator.get_params())
+
+
+class ClassifierMixin:
+    """Mixin adding label handling and a default ``score``/``predict``.
+
+    Fitting classifiers call :meth:`_encode_labels` once to map arbitrary
+    label values onto ``0..n_classes-1`` and store ``classes_``.  Their
+    ``predict_proba`` must return columns in ``classes_`` order;
+    ``predict`` then decodes the argmax back to original labels.
+    """
+
+    classes_: np.ndarray | None = None
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        classes, encoded = np.unique(y, return_inverse=True)
+        if classes.shape[0] < 2:
+            raise ValidationError("classification needs at least 2 distinct classes in y")
+        self.classes_ = classes
+        return encoded.astype(np.int64)
+
+    @property
+    def n_classes_(self) -> int:
+        check_is_fitted(self, "classes_")
+        return int(self.classes_.shape[0])
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Predict labels as the argmax of :meth:`predict_proba`."""
+        check_is_fitted(self, "classes_")
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, X: Any, y: Any) -> float:
+        """Mean accuracy of ``predict(X)`` against ``y``."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))

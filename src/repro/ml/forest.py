@@ -1,0 +1,109 @@
+"""Tree ensembles: random forests and extremely randomized trees.
+
+Both average the class-probability outputs of their member trees (soft
+voting), which gives smoother probability surfaces — useful both for the
+confidence-based active-learning baseline and for ALE interpretation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..rng import RandomState, check_random_state, spawn
+from .base import BaseEstimator, ClassifierMixin, check_array, check_is_fitted, check_X_y
+from .tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier", "ExtraTreesClassifier"]
+
+
+class _BaseForest(BaseEstimator, ClassifierMixin):
+    """Common bagging/averaging machinery for the two forest flavors."""
+
+    _splitter = "best"
+    _bootstrap_default = True
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        criterion: str = "gini",
+        bootstrap: bool | None = None,
+        random_state: RandomState = None,
+    ):
+        if n_estimators < 1:
+            raise ValidationError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.criterion = criterion
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "_BaseForest":
+        X, y = check_X_y(X, y)
+        encoded = self._encode_labels(y)
+        rng = check_random_state(self.random_state)
+        bootstrap = self._bootstrap_default if self.bootstrap is None else self.bootstrap
+        self.estimators_ = []
+        n = X.shape[0]
+        for child_rng in spawn(rng, self.n_estimators):
+            if bootstrap:
+                sample = child_rng.integers(0, n, size=n)
+                # A bootstrap draw can miss a class entirely; redraw until we
+                # keep at least two classes so the member tree stays a classifier.
+                while np.unique(encoded[sample]).size < 2:
+                    sample = child_rng.integers(0, n, size=n)
+            else:
+                sample = np.arange(n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                criterion=self.criterion,
+                splitter=self._splitter,
+                random_state=child_rng,
+            )
+            tree.fit(X[sample], encoded[sample])
+            self.estimators_.append(tree)
+        self.n_features_ = X.shape[1]
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "estimators_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_:
+            raise ValidationError(f"expected {self.n_features_} features, got {X.shape[1]}")
+        proba = np.zeros((X.shape[0], self.n_classes_), dtype=np.float64)
+        for tree in self.estimators_:
+            tree_proba = tree.predict_proba(X)
+            # Member trees may have seen a subset of the classes; align columns.
+            member_classes = tree.classes_.astype(np.int64)
+            proba[:, member_classes] += tree_proba
+        proba /= len(self.estimators_)
+        return proba
+
+
+class RandomForestClassifier(_BaseForest):
+    """Bagged CART trees with per-split feature subsampling."""
+
+    _splitter = "best"
+    _bootstrap_default = True
+
+
+class ExtraTreesClassifier(_BaseForest):
+    """Extremely randomized trees: random thresholds, no bootstrap.
+
+    The extra randomization decorrelates member errors further, which is
+    valuable when the AutoML ensemble doubles as a QBC committee.
+    """
+
+    _splitter = "random"
+    _bootstrap_default = False

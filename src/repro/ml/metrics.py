@@ -1,0 +1,114 @@
+"""Classification metrics.
+
+The paper's headline metric is *balanced accuracy* (mean per-class recall),
+chosen to be robust to label imbalance; the firewall dataset in particular
+is heavily imbalanced.  We also provide the standard companions used by the
+AutoML search and the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "accuracy",
+    "balanced_accuracy",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "macro_f1",
+    "log_loss",
+]
+
+
+def _check_labels(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValidationError(f"label shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValidationError("cannot score empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _check_labels(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count of true class ``i`` predicted ``j``.
+
+    ``labels`` fixes row/column order; by default the sorted union of the
+    labels present in either array is used.
+    """
+    y_true, y_pred = _check_labels(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    matrix = np.zeros((labels.size, labels.size), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        if t not in index or p not in index:
+            raise ValidationError(f"label {t!r} or {p!r} not in the provided labels")
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def balanced_accuracy(y_true, y_pred) -> float:
+    """Mean recall over the classes present in ``y_true``.
+
+    Classes that appear only in ``y_pred`` contribute no recall term, which
+    matches the conventional definition and keeps the metric defined on
+    small test splits.
+    """
+    y_true, y_pred = _check_labels(y_true, y_pred)
+    recalls = []
+    for label in np.unique(y_true):
+        mask = y_true == label
+        recalls.append(float(np.mean(y_pred[mask] == label)))
+    return float(np.mean(recalls))
+
+
+def precision_recall_f1(y_true, y_pred, label) -> tuple[float, float, float]:
+    """Precision, recall and F1 of a single class (one-vs-rest)."""
+    y_true, y_pred = _check_labels(y_true, y_pred)
+    tp = float(np.sum((y_true == label) & (y_pred == label)))
+    fp = float(np.sum((y_true != label) & (y_pred == label)))
+    fn = float(np.sum((y_true == label) & (y_pred != label)))
+    precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall > 0 else 0.0
+    return precision, recall, f1
+
+
+def macro_f1(y_true, y_pred) -> float:
+    """Unweighted mean of per-class F1 over classes present in ``y_true``."""
+    y_true, y_pred = _check_labels(y_true, y_pred)
+    scores = [precision_recall_f1(y_true, y_pred, label)[2] for label in np.unique(y_true)]
+    return float(np.mean(scores))
+
+
+def log_loss(y_true, proba, labels) -> float:
+    """Multi-class cross-entropy of predicted probabilities.
+
+    ``proba`` columns must follow ``labels`` order.  Probabilities are
+    clipped away from 0/1 for numerical stability.
+    """
+    y_true = np.asarray(y_true)
+    proba = np.asarray(proba, dtype=np.float64)
+    labels = np.asarray(labels)
+    if proba.ndim != 2 or proba.shape[0] != y_true.shape[0]:
+        raise ValidationError(f"proba shape {proba.shape} does not match {y_true.shape[0]} samples")
+    if proba.shape[1] != labels.size:
+        raise ValidationError(f"proba has {proba.shape[1]} columns but {labels.size} labels were given")
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    try:
+        columns = np.array([index[label] for label in y_true.tolist()])
+    except KeyError as exc:
+        raise ValidationError(f"y_true contains a label absent from labels: {exc}") from exc
+    picked = np.clip(proba[np.arange(y_true.size), columns], 1e-12, 1.0)
+    return float(-np.mean(np.log(picked)))

@@ -1,0 +1,158 @@
+"""Dataset splitting and cross-validation utilities.
+
+The evaluation protocol in the paper leans heavily on repeated splits
+(20 test sets per experiment, 5 re-splits of the firewall data), so these
+helpers are exercised throughout :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..rng import RandomState, check_random_state
+from .base import clone
+
+__all__ = [
+    "train_test_split",
+    "stratified_split_indices",
+    "KFold",
+    "StratifiedKFold",
+    "cross_val_score",
+    "partition_evenly",
+]
+
+
+def train_test_split(
+    X,
+    y,
+    *,
+    test_size: float = 0.25,
+    stratify: bool = False,
+    random_state: RandomState = None,
+):
+    """Split ``(X, y)`` into train and test portions.
+
+    Returns ``X_train, X_test, y_train, y_test``.  With ``stratify`` the
+    class proportions of ``y`` are preserved in both portions (up to
+    rounding); every class keeps at least one training sample.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValidationError(f"X and y disagree on sample count: {X.shape[0]} vs {y.shape[0]}")
+    if not 0.0 < test_size < 1.0:
+        raise ValidationError(f"test_size must be in (0, 1), got {test_size}")
+    rng = check_random_state(random_state)
+    if stratify:
+        train_idx, test_idx = stratified_split_indices(y, test_fraction=test_size, rng=rng)
+    else:
+        order = rng.permutation(X.shape[0])
+        n_test = max(1, int(round(test_size * X.shape[0])))
+        if n_test >= X.shape[0]:
+            raise ValidationError("test_size leaves no training samples")
+        test_idx, train_idx = order[:n_test], order[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+def stratified_split_indices(
+    y: np.ndarray,
+    *,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-class shuffled index split preserving label proportions."""
+    y = np.asarray(y)
+    train_parts: list[np.ndarray] = []
+    test_parts: list[np.ndarray] = []
+    for label in np.unique(y):
+        members = np.flatnonzero(y == label)
+        members = rng.permutation(members)
+        n_test = int(round(test_fraction * members.size))
+        n_test = min(n_test, members.size - 1)  # keep >=1 training sample per class
+        test_parts.append(members[:n_test])
+        train_parts.append(members[n_test:])
+    train_idx = rng.permutation(np.concatenate(train_parts))
+    test_idx = rng.permutation(np.concatenate(test_parts)) if test_parts else np.array([], dtype=int)
+    return train_idx, test_idx
+
+
+def partition_evenly(n: int, k: int, *, rng: np.random.Generator) -> list[np.ndarray]:
+    """Randomly partition ``range(n)`` into ``k`` nearly equal index groups.
+
+    Used to divide held-out data into the paper's 20 test sets.
+    """
+    if k <= 0:
+        raise ValidationError(f"k must be positive, got {k}")
+    if n < k:
+        raise ValidationError(f"cannot partition {n} samples into {k} non-empty groups")
+    order = rng.permutation(n)
+    return [np.sort(part) for part in np.array_split(order, k)]
+
+
+class KFold:
+    """Plain k-fold cross validation over shuffled indices."""
+
+    def __init__(self, n_splits: int = 5, *, random_state: RandomState = None):
+        if n_splits < 2:
+            raise ValidationError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.random_state = random_state
+
+    def split(self, X, y=None) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = np.asarray(X).shape[0]
+        if n < self.n_splits:
+            raise ValidationError(f"cannot make {self.n_splits} folds from {n} samples")
+        rng = check_random_state(self.random_state)
+        folds = partition_evenly(n, self.n_splits, rng=rng)
+        for i, test_idx in enumerate(folds):
+            train_idx = np.concatenate([fold for j, fold in enumerate(folds) if j != i])
+            yield np.sort(train_idx), test_idx
+
+
+class StratifiedKFold:
+    """K-fold that keeps per-class proportions approximately equal per fold."""
+
+    def __init__(self, n_splits: int = 5, *, random_state: RandomState = None):
+        if n_splits < 2:
+            raise ValidationError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.random_state = random_state
+
+    def split(self, X, y) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y)
+        rng = check_random_state(self.random_state)
+        fold_members: list[list[np.ndarray]] = [[] for _ in range(self.n_splits)]
+        for label in np.unique(y):
+            members = rng.permutation(np.flatnonzero(y == label))
+            if members.size < self.n_splits:
+                raise ValidationError(
+                    f"class {label!r} has {members.size} samples, fewer than n_splits={self.n_splits}"
+                )
+            for i, chunk in enumerate(np.array_split(members, self.n_splits)):
+                fold_members[i].append(chunk)
+        folds = [np.sort(np.concatenate(parts)) for parts in fold_members]
+        for i, test_idx in enumerate(folds):
+            train_idx = np.sort(np.concatenate([fold for j, fold in enumerate(folds) if j != i]))
+            yield train_idx, test_idx
+
+
+def cross_val_score(estimator, X, y, *, cv=None, scorer=None) -> np.ndarray:
+    """Fit a clone of ``estimator`` per fold and return out-of-fold scores.
+
+    ``scorer(y_true, y_pred) -> float`` defaults to plain accuracy.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if cv is None:
+        cv = StratifiedKFold(n_splits=3, random_state=0)
+    if scorer is None:
+        scorer = lambda y_true, y_pred: float(np.mean(y_true == y_pred))
+    scores = []
+    for train_idx, test_idx in cv.split(X, y):
+        model = clone(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(scorer(y[test_idx], model.predict(X[test_idx])))
+    return np.asarray(scores, dtype=np.float64)

@@ -1,0 +1,68 @@
+"""k-nearest-neighbors classification.
+
+Distances are computed blockwise against the stored training matrix so the
+memory footprint stays bounded even for large query batches.  Features are
+standardized internally (kNN is scale-sensitive and the AutoML search feeds
+it raw features alongside the preprocessing it chooses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .base import BaseEstimator, ClassifierMixin, check_array, check_is_fitted, check_X_y
+
+__all__ = ["KNeighborsClassifier"]
+
+_BLOCK_ROWS = 256
+
+
+class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
+    """Classic kNN with uniform or inverse-distance vote weighting."""
+
+    def __init__(self, n_neighbors: int = 5, *, weights: str = "uniform"):
+        if n_neighbors < 1:
+            raise ValidationError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if weights not in ("uniform", "distance"):
+            raise ValidationError(f"weights must be 'uniform' or 'distance', got {weights!r}")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        X, y = check_X_y(X, y)
+        self._y = self._encode_labels(y)
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._scale = scale
+        self._X = (X - self._mean) / self._scale
+        self.n_features_ = X.shape[1]
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "classes_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_:
+            raise ValidationError(f"expected {self.n_features_} features, got {X.shape[1]}")
+        Z = (X - self._mean) / self._scale
+        k = min(self.n_neighbors, self._X.shape[0])
+        proba = np.zeros((Z.shape[0], self.n_classes_))
+        train_sq = np.sum(self._X**2, axis=1)
+        for start in range(0, Z.shape[0], _BLOCK_ROWS):
+            block = Z[start : start + _BLOCK_ROWS]
+            # squared euclidean via the expansion ||a-b||^2 = ||a||^2 - 2ab + ||b||^2
+            distances = np.sum(block**2, axis=1)[:, None] - 2.0 * block @ self._X.T + train_sq[None, :]
+            np.maximum(distances, 0.0, out=distances)
+            neighbor_idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            rows = np.arange(block.shape[0])[:, None]
+            neighbor_dist = distances[rows, neighbor_idx]
+            if self.weights == "distance":
+                weights = 1.0 / (np.sqrt(neighbor_dist) + 1e-12)
+            else:
+                weights = np.ones_like(neighbor_dist)
+            labels = self._y[neighbor_idx]
+            for c in range(self.n_classes_):
+                proba[start : start + block.shape[0], c] = np.sum(weights * (labels == c), axis=1)
+        proba /= proba.sum(axis=1, keepdims=True)
+        return proba

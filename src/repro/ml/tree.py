@@ -1,0 +1,436 @@
+"""CART decision trees (classification and regression).
+
+A from-scratch, numpy-vectorized CART implementation.  The split search at
+each node sorts the node's samples once per candidate feature and evaluates
+every split position with prefix sums, so growing is ``O(features · n log n)``
+per node.  Trees are stored as flat arrays (``children_left`` /
+``children_right`` / ``feature`` / ``threshold`` / ``value``), which keeps
+prediction a tight vectorized loop and makes the structure easy to inspect
+in tests.
+
+The regression tree is used by :mod:`repro.ml.boosting` to fit gradient
+residuals; the classifier is used directly and inside the forests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..rng import RandomState, check_random_state
+from .base import BaseEstimator, ClassifierMixin, check_array, check_is_fitted, check_X_y
+
+__all__ = ["DecisionTreeClassifier", "DecisionTreeRegressor"]
+
+_NO_FEATURE = -1
+_LEAF = -1
+
+
+def _resolve_max_features(max_features, n_features: int) -> int:
+    """Translate a max_features spec into a concrete column count."""
+    if max_features is None:
+        return n_features
+    if max_features == "sqrt":
+        return max(1, int(np.sqrt(n_features)))
+    if max_features == "log2":
+        return max(1, int(np.log2(n_features))) if n_features > 1 else 1
+    if isinstance(max_features, float):
+        if not 0.0 < max_features <= 1.0:
+            raise ValidationError(f"max_features fraction must be in (0, 1], got {max_features}")
+        return max(1, int(round(max_features * n_features)))
+    if isinstance(max_features, (int, np.integer)):
+        if not 1 <= max_features <= n_features:
+            raise ValidationError(f"max_features must be in [1, {n_features}], got {max_features}")
+        return int(max_features)
+    raise ValidationError(f"unsupported max_features spec: {max_features!r}")
+
+
+class _Split:
+    """Best split found for one node (feature, threshold, impurity gain)."""
+
+    __slots__ = ("feature", "threshold", "gain")
+
+    def __init__(self, feature: int, threshold: float, gain: float):
+        self.feature = feature
+        self.threshold = threshold
+        self.gain = gain
+
+
+class _TreeGrower:
+    """Shared recursive growth logic for classification and regression.
+
+    Subclass hooks:
+
+    - ``_node_value(indices)``   -> leaf payload (probability vector / mean)
+    - ``_node_impurity(indices)``-> scalar impurity of the node
+    - ``_split_scores(order, column)`` -> impurity-weighted score of every
+      split position for one sorted feature column.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth,
+        min_samples_split,
+        min_samples_leaf,
+        min_impurity_decrease,
+        max_features,
+        splitter,
+        rng,
+    ):
+        self.max_depth = np.inf if max_depth is None else max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.max_features = max_features
+        self.splitter = splitter
+        self.rng = rng
+
+    # -- hooks -----------------------------------------------------------
+    def _node_value(self, indices: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _node_impurity(self, indices: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _split_scores(self, indices: np.ndarray, column: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _is_pure(self, indices: np.ndarray) -> bool:
+        raise NotImplementedError
+
+    # -- growth ----------------------------------------------------------
+    def grow(self, X: np.ndarray) -> dict[str, np.ndarray]:
+        self._X = X
+        nodes: list[dict] = []
+        self._grow_node(np.arange(X.shape[0]), depth=0, nodes=nodes)
+        n = len(nodes)
+        tree = {
+            "children_left": np.full(n, _LEAF, dtype=np.int64),
+            "children_right": np.full(n, _LEAF, dtype=np.int64),
+            "feature": np.full(n, _NO_FEATURE, dtype=np.int64),
+            "threshold": np.full(n, np.nan, dtype=np.float64),
+            "n_samples": np.zeros(n, dtype=np.int64),
+            "value": np.vstack([node["value"] for node in nodes]),
+        }
+        for i, node in enumerate(nodes):
+            tree["children_left"][i] = node["left"]
+            tree["children_right"][i] = node["right"]
+            tree["feature"][i] = node["feature"]
+            tree["threshold"][i] = node["threshold"]
+            tree["n_samples"][i] = node["n_samples"]
+        return tree
+
+    def _grow_node(self, indices: np.ndarray, *, depth: int, nodes: list[dict]) -> int:
+        node_id = len(nodes)
+        node = {
+            "left": _LEAF,
+            "right": _LEAF,
+            "feature": _NO_FEATURE,
+            "threshold": np.nan,
+            "n_samples": indices.size,
+            "value": self._node_value(indices),
+        }
+        nodes.append(node)
+        if (
+            depth >= self.max_depth
+            or indices.size < self.min_samples_split
+            or indices.size < 2 * self.min_samples_leaf
+            or self._is_pure(indices)
+        ):
+            return node_id
+        split = self._find_best_split(indices)
+        if split is None or split.gain < self.min_impurity_decrease:
+            return node_id
+        column = self._X[indices, split.feature]
+        left_mask = column <= split.threshold
+        left_idx, right_idx = indices[left_mask], indices[~left_mask]
+        if left_idx.size < self.min_samples_leaf or right_idx.size < self.min_samples_leaf:
+            return node_id
+        node["feature"] = split.feature
+        node["threshold"] = split.threshold
+        node["left"] = self._grow_node(left_idx, depth=depth + 1, nodes=nodes)
+        node["right"] = self._grow_node(right_idx, depth=depth + 1, nodes=nodes)
+        return node_id
+
+    def _candidate_features(self, n_features: int) -> np.ndarray:
+        k = _resolve_max_features(self.max_features, n_features)
+        if k >= n_features:
+            return np.arange(n_features)
+        return self.rng.choice(n_features, size=k, replace=False)
+
+    def _find_best_split(self, indices: np.ndarray) -> _Split | None:
+        parent_impurity = self._node_impurity(indices)
+        n = indices.size
+        best: _Split | None = None
+        for feature in self._candidate_features(self._X.shape[1]):
+            column = self._X[indices, feature]
+            if self.splitter == "random":
+                found = self._random_split(indices, int(feature), column, parent_impurity)
+            else:
+                found = self._exhaustive_split(indices, int(feature), column, parent_impurity, n)
+            if found is not None and (best is None or found.gain > best.gain):
+                best = found
+        return best
+
+    def _exhaustive_split(
+        self, indices: np.ndarray, feature: int, column: np.ndarray, parent_impurity: float, n: int
+    ) -> _Split | None:
+        order = np.argsort(column, kind="stable")
+        sorted_col = column[order]
+        if sorted_col[0] == sorted_col[-1]:
+            return None
+        # Split position p puts samples [0, p] on the left: p in 0..n-2.
+        scores = self._split_scores(indices[order], sorted_col)
+        positions = np.arange(n - 1)
+        valid = (sorted_col[:-1] != sorted_col[1:]) & (positions + 1 >= self.min_samples_leaf)
+        valid &= (n - positions - 1) >= self.min_samples_leaf
+        if not valid.any():
+            return None
+        scores = np.where(valid, scores, np.inf)
+        p = int(np.argmin(scores))
+        gain = parent_impurity - scores[p]
+        threshold = 0.5 * (sorted_col[p] + sorted_col[p + 1])
+        return _Split(feature, float(threshold), float(gain))
+
+    def _random_split(
+        self, indices: np.ndarray, feature: int, column: np.ndarray, parent_impurity: float
+    ) -> _Split | None:
+        lo, hi = column.min(), column.max()
+        if lo == hi:
+            return None
+        threshold = float(self.rng.uniform(lo, hi))
+        left = column <= threshold
+        n_left = int(left.sum())
+        if n_left < self.min_samples_leaf or column.size - n_left < self.min_samples_leaf:
+            return None
+        weighted = (
+            n_left / column.size * self._node_impurity(indices[left])
+            + (column.size - n_left) / column.size * self._node_impurity(indices[~left])
+        )
+        return _Split(feature, threshold, float(parent_impurity - weighted))
+
+
+class _ClassificationGrower(_TreeGrower):
+    def __init__(self, y_encoded: np.ndarray, n_classes: int, criterion: str, **kwargs):
+        super().__init__(**kwargs)
+        self.y = y_encoded
+        self.n_classes = n_classes
+        if criterion not in ("gini", "entropy"):
+            raise ValidationError(f"criterion must be 'gini' or 'entropy', got {criterion!r}")
+        self.criterion = criterion
+
+    def _class_counts(self, indices: np.ndarray) -> np.ndarray:
+        return np.bincount(self.y[indices], minlength=self.n_classes).astype(np.float64)
+
+    def _impurity_from_counts(self, counts: np.ndarray, totals: np.ndarray) -> np.ndarray:
+        """Impurity of count rows; ``totals`` broadcasts against rows."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p = counts / totals
+            p = np.where(np.isfinite(p), p, 0.0)
+            if self.criterion == "gini":
+                return 1.0 - np.sum(p**2, axis=-1)
+            logp = np.log2(p, out=np.zeros_like(p), where=p > 0)
+            return -np.sum(p * logp, axis=-1)
+
+    def _node_value(self, indices: np.ndarray) -> np.ndarray:
+        counts = self._class_counts(indices)
+        return counts / counts.sum()
+
+    def _node_impurity(self, indices: np.ndarray) -> float:
+        counts = self._class_counts(indices)
+        return float(self._impurity_from_counts(counts, counts.sum()))
+
+    def _is_pure(self, indices: np.ndarray) -> bool:
+        first = self.y[indices[0]]
+        return bool(np.all(self.y[indices] == first))
+
+    def _split_scores(self, sorted_indices: np.ndarray, column: np.ndarray) -> np.ndarray:
+        y = self.y[sorted_indices]
+        n = y.size
+        one_hot = np.zeros((n, self.n_classes), dtype=np.float64)
+        one_hot[np.arange(n), y] = 1.0
+        left_counts = np.cumsum(one_hot, axis=0)[:-1]  # counts with split after row p
+        total = left_counts[-1] + one_hot[-1]
+        right_counts = total - left_counts
+        n_left = np.arange(1, n, dtype=np.float64)
+        n_right = n - n_left
+        left_imp = self._impurity_from_counts(left_counts, n_left[:, None])
+        right_imp = self._impurity_from_counts(right_counts, n_right[:, None])
+        return (n_left / n) * left_imp + (n_right / n) * right_imp
+
+
+class _RegressionGrower(_TreeGrower):
+    def __init__(self, y: np.ndarray, **kwargs):
+        super().__init__(**kwargs)
+        self.y = y.astype(np.float64)
+
+    def _node_value(self, indices: np.ndarray) -> np.ndarray:
+        return np.array([self.y[indices].mean()])
+
+    def _node_impurity(self, indices: np.ndarray) -> float:
+        return float(self.y[indices].var())
+
+    def _is_pure(self, indices: np.ndarray) -> bool:
+        vals = self.y[indices]
+        return bool(np.all(vals == vals[0]))
+
+    def _split_scores(self, sorted_indices: np.ndarray, column: np.ndarray) -> np.ndarray:
+        y = self.y[sorted_indices]
+        n = y.size
+        csum = np.cumsum(y)[:-1]
+        csum_sq = np.cumsum(y**2)[:-1]
+        total, total_sq = y.sum(), (y**2).sum()
+        n_left = np.arange(1, n, dtype=np.float64)
+        n_right = n - n_left
+        left_var = csum_sq / n_left - (csum / n_left) ** 2
+        right_var = (total_sq - csum_sq) / n_right - ((total - csum) / n_right) ** 2
+        left_var = np.maximum(left_var, 0.0)
+        right_var = np.maximum(right_var, 0.0)
+        return (n_left / n) * left_var + (n_right / n) * right_var
+
+
+def _apply_tree(tree: dict[str, np.ndarray], X: np.ndarray) -> np.ndarray:
+    """Return the leaf node id reached by every row of ``X``."""
+    node_ids = np.zeros(X.shape[0], dtype=np.int64)
+    active = tree["children_left"][node_ids] != _LEAF
+    while active.any():
+        rows = np.flatnonzero(active)
+        current = node_ids[rows]
+        feature = tree["feature"][current]
+        threshold = tree["threshold"][current]
+        go_left = X[rows, feature] <= threshold
+        node_ids[rows[go_left]] = tree["children_left"][current[go_left]]
+        node_ids[rows[~go_left]] = tree["children_right"][current[~go_left]]
+        active = tree["children_left"][node_ids] != _LEAF
+    return node_ids
+
+
+class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
+    """CART classification tree.
+
+    Parameters mirror the usual CART knobs.  ``splitter='random'`` evaluates
+    one uniformly drawn threshold per candidate feature (the extra-trees
+    style split), which is what :class:`repro.ml.forest.ExtraTreesClassifier`
+    uses for cheap decorrelated trees.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        min_impurity_decrease: float = 0.0,
+        max_features=None,
+        criterion: str = "gini",
+        splitter: str = "best",
+        random_state: RandomState = None,
+    ):
+        if splitter not in ("best", "random"):
+            raise ValidationError(f"splitter must be 'best' or 'random', got {splitter!r}")
+        if min_samples_split < 2:
+            raise ValidationError(f"min_samples_split must be >= 2, got {min_samples_split}")
+        if min_samples_leaf < 1:
+            raise ValidationError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.max_features = max_features
+        self.criterion = criterion
+        self.splitter = splitter
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        X, y = check_X_y(X, y)
+        encoded = self._encode_labels(y)
+        grower = _ClassificationGrower(
+            encoded,
+            self.n_classes_,
+            self.criterion,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            min_impurity_decrease=self.min_impurity_decrease,
+            max_features=self.max_features,
+            splitter=self.splitter,
+            rng=check_random_state(self.random_state),
+        )
+        self.tree_ = grower.grow(X)
+        self.n_features_ = X.shape[1]
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "tree_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_:
+            raise ValidationError(f"expected {self.n_features_} features, got {X.shape[1]}")
+        leaves = _apply_tree(self.tree_, X)
+        return self.tree_["value"][leaves]
+
+    @property
+    def n_nodes_(self) -> int:
+        check_is_fitted(self, "tree_")
+        return int(self.tree_["feature"].shape[0])
+
+    @property
+    def depth_(self) -> int:
+        """Maximum root-to-leaf depth of the fitted tree."""
+        check_is_fitted(self, "tree_")
+        depths = np.zeros(self.n_nodes_, dtype=np.int64)
+        for node in range(self.n_nodes_):
+            for child in (self.tree_["children_left"][node], self.tree_["children_right"][node]):
+                if child != _LEAF:
+                    depths[child] = depths[node] + 1
+        return int(depths.max())
+
+
+class DecisionTreeRegressor(BaseEstimator):
+    """CART regression tree minimizing within-node variance (MSE)."""
+
+    def __init__(
+        self,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        min_impurity_decrease: float = 0.0,
+        max_features=None,
+        splitter: str = "best",
+        random_state: RandomState = None,
+    ):
+        if splitter not in ("best", "random"):
+            raise ValidationError(f"splitter must be 'best' or 'random', got {splitter!r}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.max_features = max_features
+        self.splitter = splitter
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        X, y = check_X_y(X, y)
+        y = y.astype(np.float64)
+        grower = _RegressionGrower(
+            y,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            min_impurity_decrease=self.min_impurity_decrease,
+            max_features=self.max_features,
+            splitter=self.splitter,
+            rng=check_random_state(self.random_state),
+        )
+        self.tree_ = grower.grow(X)
+        self.n_features_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, "tree_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_:
+            raise ValidationError(f"expected {self.n_features_} features, got {X.shape[1]}")
+        leaves = _apply_tree(self.tree_, X)
+        return self.tree_["value"][leaves, 0]

@@ -1,0 +1,54 @@
+"""Network emulation substrate (the Pantheon-equivalent testbed).
+
+Two engines over the same scenario/protocol abstractions:
+
+- :func:`run_packet_scenario` — packet-level discrete-event emulation
+  (reference fidelity);
+- :func:`run_fluid_scenario` — fluid-model approximation (orders of
+  magnitude faster; used for dataset generation).
+
+Protocols: SCReAM, Cubic, Reno, Vegas, and a BBR-like controller, all
+implemented from scratch in :mod:`repro.netsim.cc`.
+"""
+
+from .aqm import RED, CoDel, DropTail, QueueDiscipline, make_discipline
+from .cc import BBR, PROTOCOLS, CongestionControl, Cubic, Reno, Scream, Vegas, make_protocol
+from .emulator import FlowMetrics, run_packet_scenario
+from .events import Simulator
+from .fluid import FluidTrace, run_fluid_scenario
+from .link import BottleneckLink, LinkStats
+from .flow import FlowStats, Sender
+from .packet import DEFAULT_PACKET_BYTES, NetworkScenario, Packet
+from .path import NetworkPath
+from .scenarios import DEFAULT_SPACE, ScenarioSpace
+
+__all__ = [
+    "Simulator",
+    "Packet",
+    "NetworkScenario",
+    "DEFAULT_PACKET_BYTES",
+    "BottleneckLink",
+    "LinkStats",
+    "NetworkPath",
+    "Sender",
+    "FlowStats",
+    "FlowMetrics",
+    "run_packet_scenario",
+    "run_fluid_scenario",
+    "FluidTrace",
+    "ScenarioSpace",
+    "DEFAULT_SPACE",
+    "CongestionControl",
+    "Reno",
+    "Cubic",
+    "Vegas",
+    "Scream",
+    "BBR",
+    "PROTOCOLS",
+    "make_protocol",
+    "QueueDiscipline",
+    "DropTail",
+    "RED",
+    "CoDel",
+    "make_discipline",
+]

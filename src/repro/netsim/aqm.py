@@ -1,0 +1,173 @@
+"""Active queue management disciplines for the bottleneck link.
+
+The paper's congestion-control example asks "which protocol fits these
+network conditions" — and the bottleneck's queueing discipline is one of
+those conditions (a delay-based protocol behind CoDel behaves very
+differently from one behind a deep drop-tail buffer).  Three classic
+disciplines are provided:
+
+- :class:`DropTail` — admit until full (the default everywhere);
+- :class:`RED` — Random Early Detection (Floyd & Jacobson 1993):
+  probabilistic admission drops driven by an EWMA of the queue length;
+- :class:`CoDel` — Controlled Delay (Nichols & Jacobson 2012): sojourn-
+  time-based head drops on an increasing-frequency schedule.
+
+A discipline sees two hook points, matching where real implementations
+act: :meth:`admit` at enqueue (tail drops) and :meth:`deliver` at dequeue
+(head drops).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import EmulationError
+from .packet import Packet
+
+__all__ = ["QueueDiscipline", "DropTail", "RED", "CoDel", "make_discipline"]
+
+
+class QueueDiscipline:
+    """Hook interface the link drives; subclasses override the hooks."""
+
+    def reset(self) -> None:
+        """Clear any state carried across packets."""
+
+    def admit(self, *, queue_length: int, capacity: int, now: float) -> bool:
+        """Tail decision: may this packet join the queue?"""
+        return queue_length < capacity
+
+    def deliver(self, packet: Packet, *, now: float, rate_pps: float) -> bool:
+        """Head decision: transmit this dequeued packet (False = drop)?"""
+        return True
+
+
+class DropTail(QueueDiscipline):
+    """FIFO with tail drop at the configured capacity."""
+
+
+class RED(QueueDiscipline):
+    """Random Early Detection.
+
+    Maintains an EWMA ``avg`` of the instantaneous queue length.  Below
+    ``min_threshold`` (a fraction of capacity) everything is admitted;
+    between the thresholds, packets are dropped with probability rising
+    linearly to ``max_probability``; above ``max_threshold`` everything is
+    dropped.  The classic gentle-RED count mechanism (spacing forced drops)
+    is included.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_threshold: float = 0.25,
+        max_threshold: float = 0.75,
+        max_probability: float = 0.1,
+        weight: float = 0.2,
+        rng=None,
+    ):
+        if not 0.0 <= min_threshold < max_threshold <= 1.0:
+            raise EmulationError(
+                f"RED thresholds must satisfy 0 <= min < max <= 1, got {min_threshold}, {max_threshold}"
+            )
+        if not 0.0 < max_probability <= 1.0:
+            raise EmulationError(f"max_probability must be in (0, 1], got {max_probability}")
+        if not 0.0 < weight <= 1.0:
+            raise EmulationError(f"weight must be in (0, 1], got {weight}")
+        import numpy as np
+
+        self.min_threshold = min_threshold
+        self.max_threshold = max_threshold
+        self.max_probability = max_probability
+        self.weight = weight
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.reset()
+
+    def reset(self) -> None:
+        self.average = 0.0
+        self._count_since_drop = 0
+
+    def admit(self, *, queue_length: int, capacity: int, now: float) -> bool:
+        self.average = (1.0 - self.weight) * self.average + self.weight * queue_length
+        if queue_length >= capacity:
+            return False  # physical limit always wins
+        fill = self.average / capacity
+        if fill < self.min_threshold:
+            self._count_since_drop += 1
+            return True
+        if fill >= self.max_threshold:
+            self._count_since_drop = 0
+            return False
+        base = self.max_probability * (fill - self.min_threshold) / (
+            self.max_threshold - self.min_threshold
+        )
+        # Spread drops out: probability grows with packets since last drop.
+        probability = base / max(1.0 - self._count_since_drop * base, 1e-6)
+        if self.rng.random() < min(probability, 1.0):
+            self._count_since_drop = 0
+            return False
+        self._count_since_drop += 1
+        return True
+
+
+class CoDel(QueueDiscipline):
+    """Controlled Delay AQM.
+
+    Tracks each packet's sojourn time at dequeue.  Once the sojourn has
+    exceeded ``target`` continuously for ``interval`` seconds, CoDel enters
+    a dropping state: it drops the head packet and schedules the next drop
+    at ``interval / sqrt(count)``, leaving the state as soon as a sojourn
+    dips below target.
+    """
+
+    def __init__(self, *, target: float = 0.005, interval: float = 0.1):
+        if target <= 0 or interval <= 0:
+            raise EmulationError(f"CoDel target/interval must be positive, got {target}, {interval}")
+        self.target = target
+        self.interval = interval
+        self.reset()
+
+    def reset(self) -> None:
+        self._first_above_time: float | None = None
+        self._dropping = False
+        self._drop_next = 0.0
+        self._drop_count = 0
+
+    def _sojourn_ok(self, sojourn: float, now: float) -> bool:
+        """True while the queue delay is acceptable; manages the timer."""
+        if sojourn < self.target:
+            self._first_above_time = None
+            return True
+        if self._first_above_time is None:
+            self._first_above_time = now + self.interval
+            return True
+        return now < self._first_above_time
+
+    def deliver(self, packet: Packet, *, now: float, rate_pps: float) -> bool:
+        sojourn = now - packet.enqueue_time
+        if not self._dropping:
+            if self._sojourn_ok(sojourn, now):
+                return True
+            self._dropping = True
+            self._drop_count = max(1, self._drop_count - 2)  # resume near last rate
+            self._drop_next = now + self.interval / math.sqrt(self._drop_count)
+            return False
+        if sojourn < self.target:
+            self._dropping = False
+            self._first_above_time = None
+            return True
+        if now >= self._drop_next:
+            self._drop_count += 1
+            self._drop_next = now + self.interval / math.sqrt(self._drop_count)
+            return False
+        return True
+
+
+def make_discipline(name: str, **kwargs) -> QueueDiscipline:
+    """Build a discipline by name ('droptail', 'red', 'codel')."""
+    factories = {"droptail": DropTail, "red": RED, "codel": CoDel}
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise EmulationError(f"unknown queue discipline {name!r}; choices: {sorted(factories)}") from None
+    return factory(**kwargs)

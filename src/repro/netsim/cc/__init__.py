@@ -1,0 +1,35 @@
+"""Congestion-control algorithms for the network emulator.
+
+``PROTOCOLS`` maps protocol name to factory; ``make_protocol`` builds a
+fresh controller by name.  SCReAM is the paper's protagonist; the others
+form the "rest" of the Scream-vs-rest labeling task.
+"""
+
+from typing import Callable
+
+from ...exceptions import ValidationError
+from .base import CongestionControl
+from .bbr import BBR
+from .cubic import Cubic
+from .reno import Reno
+from .scream import Scream
+from .vegas import Vegas
+
+__all__ = ["CongestionControl", "Reno", "Cubic", "Vegas", "Scream", "BBR", "PROTOCOLS", "make_protocol"]
+
+PROTOCOLS: dict[str, Callable[[], CongestionControl]] = {
+    "reno": Reno,
+    "cubic": Cubic,
+    "vegas": Vegas,
+    "scream": Scream,
+    "bbr": BBR,
+}
+
+
+def make_protocol(name: str) -> CongestionControl:
+    """Instantiate a congestion controller by its registry name."""
+    try:
+        factory = PROTOCOLS[name]
+    except KeyError:
+        raise ValidationError(f"unknown protocol {name!r}; choices: {sorted(PROTOCOLS)}") from None
+    return factory()

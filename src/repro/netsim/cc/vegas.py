@@ -1,0 +1,66 @@
+"""TCP Vegas delay-based congestion control.
+
+Vegas compares the expected throughput (``cwnd / base_rtt``) against the
+actual throughput (``cwnd / rtt``); the difference, expressed in packets
+queued at the bottleneck, is kept between ``alpha`` and ``beta`` by ±1
+packet-per-RTT adjustments.  Vegas keeps queues short, which makes it the
+closest in spirit to SCReAM among the classic algorithms — and the main
+source of "SCReAM is not best" labels in the dataset.
+"""
+
+from __future__ import annotations
+
+from .base import MIN_CWND, CongestionControl
+
+__all__ = ["Vegas"]
+
+
+class Vegas(CongestionControl):
+    name = "vegas"
+    kind = "window"
+
+    def __init__(self, *, alpha: float = 2.0, beta: float = 4.0):
+        if alpha > beta:
+            raise ValueError(f"vegas alpha {alpha} must be <= beta {beta}")
+        self.alpha = alpha
+        self.beta = beta
+        super().__init__()
+
+    def reset(self, *, now: float, base_rtt_hint: float | None = None) -> None:
+        super().reset(now=now, base_rtt_hint=base_rtt_hint)
+        self.ssthresh = 32.0
+        self._acks_this_rtt = 0.0
+        self._rtt_epoch = now
+
+    def _queued_packets(self, rtt: float) -> float:
+        """Vegas' diff: estimated packets this flow keeps in the queue."""
+        if self.min_rtt == float("inf") or self.min_rtt <= 0:
+            return 0.0
+        expected = self.cwnd / self.min_rtt
+        actual = self.cwnd / rtt
+        return (expected - actual) * self.min_rtt
+
+    def _adjust(self, rtt: float, scale: float) -> None:
+        diff = self._queued_packets(rtt)
+        if self.cwnd < self.ssthresh and diff < self.alpha:
+            self.cwnd += scale  # slow-start-like growth while under target
+        elif diff < self.alpha:
+            self.cwnd += scale
+        elif diff > self.beta:
+            self.cwnd = max(MIN_CWND, self.cwnd - scale)
+
+    def on_ack(self, *, now: float, rtt: float, delivered_rate: float | None = None) -> None:
+        self.observe_rtt(rtt)
+        # Apply the per-RTT ±1 adjustment smoothly, one ACK at a time.
+        self._adjust(rtt, scale=1.0 / max(self.cwnd, 1.0))
+
+    def on_loss(self, *, now: float) -> None:
+        self.cwnd = max(MIN_CWND, self.cwnd * 0.75)
+        self.last_loss_reaction = now
+
+    def fluid_update(
+        self, *, now: float, dt: float, rtt: float, expected_losses: float, delivered_rate: float
+    ) -> None:
+        self.observe_rtt(rtt)
+        self._adjust(rtt, scale=dt / max(rtt, 1e-6))
+        self.accumulate_loss(expected_losses, now=now, rtt=rtt)

@@ -1,0 +1,67 @@
+"""Discrete-event simulation engine.
+
+A minimal but complete event loop: events are ``(time, sequence, callback)``
+triples in a binary heap; the sequence number breaks ties deterministically
+so simulations are exactly reproducible.  Components schedule callbacks via
+:meth:`Simulator.schedule` and the loop runs until the horizon or event
+exhaustion.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from ..exceptions import EmulationError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """The event loop owning simulated time."""
+
+    def __init__(self):
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self.now = 0.0
+        self._events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay`` (delay must be >= 0)."""
+        if delay < 0:
+            raise EmulationError(f"cannot schedule an event {delay}s in the past")
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated time ``when``."""
+        self.schedule(when - self.now, callback)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def run(self, until: float, *, max_events: int | None = None) -> None:
+        """Process events in time order until ``until`` (exclusive).
+
+        ``max_events`` guards against runaway simulations (a mis-tuned
+        congestion controller can generate unbounded event storms); hitting
+        it raises :class:`EmulationError` rather than silently truncating.
+        """
+        if until < self.now:
+            raise EmulationError(f"cannot run backwards: now={self.now}, until={until}")
+        while self._queue and self._queue[0][0] <= until:
+            when, _, callback = heapq.heappop(self._queue)
+            self.now = when
+            callback()
+            self._events_processed += 1
+            if max_events is not None and self._events_processed > max_events:
+                raise EmulationError(
+                    f"simulation exceeded {max_events} events before t={until}; "
+                    "scenario is probably divergent"
+                )
+        self.now = max(self.now, until)

@@ -1,0 +1,209 @@
+"""Sender/receiver endpoints driving a congestion controller.
+
+A :class:`Sender` is a greedy source: it always has data to send and lets
+its congestion-control algorithm decide when.  Window-based controllers are
+ACK-clocked (send while inflight < cwnd); rate-based controllers are driven
+by a pacing timer re-armed at the current rate.  Loss detection uses the
+two standard TCP mechanisms in simplified form:
+
+- *reordering gap*: an ACK for sequence ``s`` marks any outstanding
+  sequence older than ``s - reorder_threshold`` as lost (fast-retransmit
+  analogue);
+- *retransmission timeout*: silence for ``rto_multiplier × srtt`` clears
+  the inflight window and signals loss.
+
+The receiver acknowledges every packet; the reverse path is modeled as pure
+propagation delay (no reverse-direction queueing), the common single-
+bottleneck simplification.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .cc.base import CongestionControl
+from .events import Simulator
+from .link import BottleneckLink
+from .packet import Packet
+
+__all__ = ["Sender", "FlowStats"]
+
+
+class FlowStats:
+    """Per-flow outcome record."""
+
+    def __init__(self):
+        self.sent = 0
+        self.delivered = 0
+        self.lost = 0
+        self.delays: list[float] = []  # one-way data-path delays
+        self.rtts: list[float] = []
+
+    @property
+    def loss_fraction(self) -> float:
+        return self.lost / self.sent if self.sent else 0.0
+
+
+class Sender:
+    """A greedy flow endpoint bound to one congestion controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: BottleneckLink,
+        cc: CongestionControl,
+        *,
+        flow_id: int,
+        reverse_delay: float,
+        start_time: float = 0.0,
+        reorder_threshold: int = 3,
+        rto_multiplier: float = 4.0,
+        min_rto: float = 0.2,
+    ):
+        self.sim = sim
+        self.link = link
+        self.cc = cc
+        self.flow_id = flow_id
+        self.reverse_delay = reverse_delay
+        self.reorder_threshold = reorder_threshold
+        self.rto_multiplier = rto_multiplier
+        self.min_rto = min_rto
+        self.stats = FlowStats()
+
+        self._next_sequence = 0
+        self._inflight: dict[int, float] = {}  # sequence -> send time
+        self._highest_acked = -1
+        self._srtt: float | None = None
+        self._last_ack_time = start_time
+        self._delivered_times: deque[float] = deque(maxlen=4096)
+        self._running = False
+
+        cc.reset(now=start_time)
+        sim.schedule_at(start_time, self.start)
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        self._running = True
+        if self.cc.kind == "rate":
+            self._pace()
+        else:
+            self._fill_window()
+        self._arm_rto()
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- sending -----------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def _send_one(self) -> None:
+        packet = Packet(flow_id=self.flow_id, sequence=self._next_sequence, send_time=self.sim.now)
+        self._next_sequence += 1
+        self._inflight[packet.sequence] = packet.send_time
+        self.stats.sent += 1
+        accepted = self.link.send(packet, self._deliver_to_receiver)
+        if not accepted:
+            # The drop is silent on the wire; the gap/RTO machinery will
+            # discover it.  Nothing else to do here.
+            pass
+
+    def _fill_window(self) -> None:
+        if not self._running:
+            return
+        while self.inflight < int(self.cc.congestion_window()):
+            self._send_one()
+
+    def _pace(self) -> None:
+        if not self._running:
+            return
+        cap = getattr(self.cc, "inflight_cap", None)
+        if cap is None or self.inflight < cap():
+            self._send_one()
+        interval = 1.0 / self.cc.pacing_rate_pps()
+        self.sim.schedule(interval, self._pace)
+
+    # -- receive path ---------------------------------------------------------
+    def _deliver_to_receiver(self, packet: Packet) -> None:
+        """Receiver side: record delay, return an ACK after the reverse path."""
+        delay = self.sim.now - packet.send_time
+        self.stats.delivered += 1
+        self.stats.delays.append(delay)
+        ack_arrival = self.reverse_delay
+
+        def ack(packet=packet):
+            self._on_ack(packet)
+
+        self.sim.schedule(ack_arrival, ack)
+
+    def _on_ack(self, packet: Packet) -> None:
+        if not self._running:
+            return
+        send_time = self._inflight.pop(packet.sequence, None)
+        if send_time is None:
+            return  # already declared lost; stale ACK
+        rtt = self.sim.now - packet.send_time
+        self.stats.rtts.append(rtt)
+        self._srtt = rtt if self._srtt is None else 0.875 * self._srtt + 0.125 * rtt
+        self._last_ack_time = self.sim.now
+        self._highest_acked = max(self._highest_acked, packet.sequence)
+        self._delivered_times.append(self.sim.now)
+        self.cc.on_ack(now=self.sim.now, rtt=rtt, delivered_rate=self._delivered_rate())
+        self._detect_gap_losses()
+        if self.cc.kind == "window":
+            self._fill_window()
+
+    def _delivered_rate(self) -> float | None:
+        """Recent goodput estimate over roughly the last RTT.
+
+        Time-windowed rather than count-windowed: a fixed ACK count would
+        span seconds at low rates and make the estimate uselessly stale for
+        bandwidth-probing controllers like BBR.
+        """
+        window = max(self._srtt if self._srtt is not None else 0.1, 0.05)
+        cutoff = self.sim.now - window
+        while len(self._delivered_times) > 1 and self._delivered_times[0] < cutoff:
+            self._delivered_times.popleft()
+        if len(self._delivered_times) < 2:
+            return None
+        span = self._delivered_times[-1] - self._delivered_times[0]
+        if span <= 0:
+            return None
+        return (len(self._delivered_times) - 1) / span
+
+    # -- loss detection ------------------------------------------------------
+    def _detect_gap_losses(self) -> None:
+        threshold = self._highest_acked - self.reorder_threshold
+        lost = [seq for seq in self._inflight if seq < threshold]
+        if not lost:
+            return
+        for seq in lost:
+            del self._inflight[seq]
+            self.stats.lost += 1
+        rtt = self._srtt if self._srtt is not None else self.min_rto
+        if self.cc.can_react_to_loss(self.sim.now, rtt):
+            self.cc.on_loss(now=self.sim.now)
+
+    def _rto(self) -> float:
+        base = self._srtt if self._srtt is not None else self.min_rto
+        return max(self.min_rto, self.rto_multiplier * base)
+
+    def _arm_rto(self) -> None:
+        if not self._running:
+            return
+
+        def check():
+            if not self._running:
+                return
+            if self._inflight and self.sim.now - self._last_ack_time >= self._rto():
+                # Timeout: everything outstanding is presumed lost.
+                self.stats.lost += len(self._inflight)
+                self._inflight.clear()
+                self.cc.on_loss(now=self.sim.now)
+                self._last_ack_time = self.sim.now
+                if self.cc.kind == "window":
+                    self._fill_window()
+            self._arm_rto()
+
+        self.sim.schedule(self._rto() / 2.0, check)

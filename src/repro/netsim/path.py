@@ -1,0 +1,76 @@
+"""Multi-hop network paths: a chain of bottleneck links.
+
+The single-bottleneck dumbbell covers the paper's experiments, but real
+paths traverse several queues ("parking-lot" topologies).  A
+:class:`NetworkPath` strings :class:`BottleneckLink` instances together:
+a packet is delivered to the next hop's queue as soon as the previous hop
+finishes serialization + propagation, and a drop at any hop drops the
+packet end-to-end.
+
+The path exposes the same ``send(packet, deliver)`` interface as a single
+link, so :class:`repro.netsim.flow.Sender` works over paths unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..exceptions import EmulationError
+from .link import BottleneckLink
+from .packet import Packet
+
+__all__ = ["NetworkPath"]
+
+
+class NetworkPath:
+    """An ordered chain of links acting as one logical hop for senders."""
+
+    def __init__(self, links: Sequence[BottleneckLink]):
+        links = list(links)
+        if not links:
+            raise EmulationError("a path needs at least one link")
+        sims = {id(link.sim) for link in links}
+        if len(sims) != 1:
+            raise EmulationError("all links of a path must share one Simulator")
+        self.links = links
+        self.drop_listeners: list[Callable[[Packet], None]] = []
+        for link in links:
+            link.drop_listeners.append(self._on_hop_drop)
+
+    @property
+    def sim(self):
+        return self.links[0].sim
+
+    @property
+    def bottleneck(self) -> BottleneckLink:
+        """The slowest link — the one whose queue dominates behaviour."""
+        return min(self.links, key=lambda link: link.rate_pps)
+
+    @property
+    def total_propagation_delay(self) -> float:
+        return float(sum(link.one_way_delay for link in self.links))
+
+    def _on_hop_drop(self, packet: Packet) -> None:
+        for listener in self.drop_listeners:
+            listener(packet)
+
+    def send(self, packet: Packet, deliver: Callable[[Packet], None]) -> bool:
+        """Inject ``packet`` at the first hop; ``deliver`` fires at the last.
+
+        Returns whether the *first* hop accepted the packet (matching the
+        single-link contract); drops at later hops surface through the
+        drop listeners and, to the sender, as missing ACKs.
+        """
+        return self._send_hop(0, packet, deliver)
+
+    def _send_hop(self, index: int, packet: Packet, deliver: Callable[[Packet], None]) -> bool:
+        if index == len(self.links) - 1:
+            return self.links[index].send(packet, deliver)
+
+        def forward(packet: Packet, index=index) -> None:
+            self._send_hop(index + 1, packet, deliver)
+
+        return self.links[index].send(packet, forward)
+
+    def queueing_delay_estimate(self) -> float:
+        return float(sum(link.queueing_delay_estimate() for link in self.links))

@@ -1,0 +1,93 @@
+"""Scenario sampling for the Scream-vs-rest dataset.
+
+The paper's congestion-control example trains on feature vectors of
+(bottleneck bandwidth, latency, loss rate, number of concurrent flows).
+:class:`ScenarioSpace` defines the valid ranges — doubling as the feature
+domains the feedback algorithm needs — and samples scenarios uniformly, or
+from a biased "production-like" distribution that under-represents lossy
+conditions (the data-collection bias §2.2 of the paper calls out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.subspace import FeatureDomain
+from ..exceptions import ValidationError
+from ..rng import RandomState, check_random_state
+from .packet import NetworkScenario
+
+__all__ = ["ScenarioSpace", "DEFAULT_SPACE"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpace:
+    """Valid ranges for each network-condition feature."""
+
+    bandwidth_mbps: tuple[float, float] = (1.0, 100.0)
+    rtt_ms: tuple[float, float] = (5.0, 200.0)
+    loss_rate: tuple[float, float] = (0.0, 0.02)
+    n_flows: tuple[int, int] = (1, 8)
+    queue_bdp: float = 2.0
+
+    def __post_init__(self):
+        for name in ("bandwidth_mbps", "rtt_ms", "loss_rate", "n_flows"):
+            low, high = getattr(self, name)
+            if low >= high:
+                raise ValidationError(f"{name} range is empty: [{low}, {high}]")
+
+    def domains(self) -> list[FeatureDomain]:
+        """Feature domains in the canonical feature order."""
+        return [
+            FeatureDomain("bandwidth_mbps", *self.bandwidth_mbps),
+            FeatureDomain("rtt_ms", *self.rtt_ms),
+            FeatureDomain("loss_rate", *self.loss_rate),
+            FeatureDomain("n_flows", float(self.n_flows[0]), float(self.n_flows[1]), integer=True),
+        ]
+
+    def feature_names(self) -> list[str]:
+        return [domain.name for domain in self.domains()]
+
+    def scenario_from_features(self, features) -> NetworkScenario:
+        """Build a scenario from one (bandwidth, rtt, loss, flows) vector."""
+        features = np.asarray(features, dtype=np.float64).ravel()
+        if features.shape[0] != 4:
+            raise ValidationError(f"expected 4 features, got {features.shape[0]}")
+        return NetworkScenario(
+            bandwidth_mbps=float(np.clip(features[0], *self.bandwidth_mbps)),
+            rtt_ms=float(np.clip(features[1], *self.rtt_ms)),
+            loss_rate=float(np.clip(features[2], *self.loss_rate)),
+            n_flows=int(np.clip(round(features[3]), *self.n_flows)),
+            queue_bdp=self.queue_bdp,
+        )
+
+    def sample(self, n: int, random_state: RandomState = None) -> list[NetworkScenario]:
+        """Draw ``n`` scenarios uniformly over the space."""
+        rng = check_random_state(random_state)
+        features = np.column_stack([domain.sample(n, rng) for domain in self.domains()])
+        return [self.scenario_from_features(row) for row in features]
+
+    def sample_production_biased(self, n: int, random_state: RandomState = None) -> list[NetworkScenario]:
+        """Draw scenarios with a production-trace-like bias.
+
+        Real collection from a healthy network rarely observes high loss
+        or extreme congestion (the paper's §2.2 bias argument): loss is
+        drawn from an exponential concentrated near zero and flow counts
+        skew low.  Training on this distribution creates exactly the blind
+        spots the feedback algorithm is designed to surface.
+        """
+        rng = check_random_state(random_state)
+        bandwidth = rng.uniform(*self.bandwidth_mbps, size=n)
+        rtt = rng.uniform(*self.rtt_ms, size=n)
+        loss_span = self.loss_rate[1] - self.loss_rate[0]
+        loss = self.loss_rate[0] + np.minimum(rng.exponential(loss_span / 8.0, size=n), loss_span)
+        flows = np.clip(
+            np.round(1 + rng.exponential(1.2, size=n)), self.n_flows[0], self.n_flows[1]
+        )
+        features = np.column_stack([bandwidth, rtt, loss, flows])
+        return [self.scenario_from_features(row) for row in features]
+
+
+DEFAULT_SPACE = ScenarioSpace()

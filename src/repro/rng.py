@@ -1,0 +1,55 @@
+"""Random-number-generator plumbing shared across the library.
+
+Every stochastic component in this library accepts a ``random_state``
+argument that may be ``None``, an integer seed, or a fully constructed
+:class:`numpy.random.Generator`.  :func:`check_random_state` normalizes the
+three forms so that downstream code always works with a ``Generator``.
+
+Child generators are derived with :func:`spawn` so that parallel or repeated
+sub-tasks (e.g. the trees of a forest, or repeated AutoML runs) get
+independent, reproducible streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .exceptions import ValidationError
+
+RandomState = None | int | np.random.Generator
+
+__all__ = ["RandomState", "check_random_state", "spawn"]
+
+
+def check_random_state(random_state: RandomState) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``random_state``.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for nondeterministic seeding, an ``int`` seed, or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        if random_state < 0:
+            raise ValidationError(f"random_state must be >= 0, got {random_state}")
+        return np.random.default_rng(int(random_state))
+    raise ValidationError(
+        f"random_state must be None, an int, or a numpy Generator; got {type(random_state).__name__}"
+    )
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    The children are seeded from ``rng``'s own stream, so the same parent
+    seed always yields the same family of children.
+    """
+    if n < 0:
+        raise ValidationError(f"cannot spawn a negative number of generators: {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

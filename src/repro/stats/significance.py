@@ -1,0 +1,110 @@
+"""Cross-algorithm significance analysis (the p-value columns of Table 1).
+
+Given per-test-set balanced accuracies for every algorithm, build the
+``P(x, y)`` matrix of one-sided Wilcoxon p-values the paper reports, plus
+``mean ± std`` summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .wilcoxon import wilcoxon_signed_rank
+
+__all__ = ["AlgorithmScores", "SignificanceTable"]
+
+
+@dataclass
+class AlgorithmScores:
+    """Per-test-set scores of one algorithm across repeats.
+
+    ``scores`` is flat: one balanced accuracy per (repeat, test-set) pair,
+    in a consistent order across algorithms so the Wilcoxon pairing is
+    meaningful.
+    """
+
+    name: str
+    scores: np.ndarray
+
+    def __post_init__(self):
+        self.scores = np.asarray(self.scores, dtype=np.float64)
+        if self.scores.ndim != 1 or self.scores.size == 0:
+            raise ValidationError(f"scores for {self.name!r} must be a non-empty 1-D array")
+
+    @property
+    def mean(self) -> float:
+        return float(self.scores.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.scores.std(ddof=1)) if self.scores.size > 1 else 0.0
+
+    def formatted(self) -> str:
+        return f"{self.mean * 100:.1f}% ± {self.std * 100:.2f}%"
+
+
+class SignificanceTable:
+    """All algorithms' scores plus pairwise one-sided Wilcoxon p-values."""
+
+    def __init__(self, algorithms: list[AlgorithmScores]):
+        if not algorithms:
+            raise ValidationError("need at least one algorithm")
+        lengths = {a.scores.size for a in algorithms}
+        if len(lengths) != 1:
+            raise ValidationError(f"algorithms have mismatched score counts: {sorted(lengths)}")
+        names = [a.name for a in algorithms]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate algorithm names: {names}")
+        self.algorithms = algorithms
+        self._by_name = {a.name: a for a in algorithms}
+
+    def names(self) -> list[str]:
+        return [a.name for a in self.algorithms]
+
+    def scores(self, name: str) -> AlgorithmScores:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ValidationError(f"unknown algorithm {name!r}; have {self.names()}") from None
+
+    def p_value(self, worse: str, better: str) -> float:
+        """P(worse, better): one-sided test that ``worse`` scores lower.
+
+        Small values support the claim "``better`` beats ``worse``"; this
+        is exactly the paper's ``P(x, y)`` convention.
+        """
+        if worse == better:
+            return float("nan")
+        result = wilcoxon_signed_rank(
+            self.scores(worse).scores, self.scores(better).scores, alternative="less"
+        )
+        return result.p_value
+
+    def matrix_against(self, references: list[str]) -> dict[str, dict[str, float]]:
+        """P(x, ref) for every algorithm x and each reference column."""
+        return {
+            algorithm.name: {ref: self.p_value(algorithm.name, ref) for ref in references}
+            for algorithm in self.algorithms
+        }
+
+    def format_table(self, references: list[str]) -> str:
+        """Render a Table-1-style text table (accuracy + p-value columns)."""
+        for ref in references:
+            self.scores(ref)  # validate early
+        headers = ["Algorithm", "balanced accuracy"] + [f"P(X, {ref})" for ref in references]
+        rows = []
+        for algorithm in self.algorithms:
+            cells = [algorithm.name, algorithm.formatted()]
+            for ref in references:
+                p = self.p_value(algorithm.name, ref)
+                cells.append("NA" if np.isnan(p) else f"{p:.3g}")
+            rows.append(cells)
+        widths = [max(len(row[i]) for row in [headers] + rows) for i in range(len(headers))]
+        lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths))]
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in rows:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)

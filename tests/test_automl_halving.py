@@ -1,0 +1,79 @@
+"""Tests for successive-halving search."""
+
+import numpy as np
+import pytest
+
+from repro.automl import AutoMLClassifier, SuccessiveHalvingSearch
+from repro.exceptions import SearchBudgetError, ValidationError
+
+
+class TestSuccessiveHalving:
+    def test_finds_good_candidate(self, blobs_2class):
+        X, y = blobs_2class
+        result = SuccessiveHalvingSearch(n_candidates=9, random_state=0).run(X, y)
+        assert result.best.score > 0.85
+
+    def test_results_sorted(self, blobs_2class):
+        X, y = blobs_2class
+        result = SuccessiveHalvingSearch(n_candidates=9, random_state=1).run(X, y)
+        scores = [item.score for item in result.evaluated]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_valid_proba_shapes(self, blobs_2class):
+        X, y = blobs_2class
+        result = SuccessiveHalvingSearch(n_candidates=6, random_state=2).run(X, y)
+        for item in result.evaluated:
+            assert item.valid_proba.shape == (result.valid_indices.size, 2)
+
+    def test_evaluates_at_most_n_candidates(self, blobs_2class):
+        X, y = blobs_2class
+        result = SuccessiveHalvingSearch(n_candidates=6, random_state=3).run(X, y)
+        assert len(result.evaluated) + len(result.failures) <= 6
+
+    def test_reproducible(self, blobs_2class):
+        X, y = blobs_2class
+        a = SuccessiveHalvingSearch(n_candidates=6, random_state=4).run(X, y)
+        b = SuccessiveHalvingSearch(n_candidates=6, random_state=4).run(X, y)
+        assert [i.score for i in a.evaluated] == [i.score for i in b.evaluated]
+
+    def test_parameter_validation(self):
+        with pytest.raises(SearchBudgetError):
+            SuccessiveHalvingSearch(n_candidates=1)
+        with pytest.raises(ValidationError):
+            SuccessiveHalvingSearch(eta=1)
+        with pytest.raises(ValidationError):
+            SuccessiveHalvingSearch(min_resource_fraction=0.0)
+        with pytest.raises(SearchBudgetError):
+            SuccessiveHalvingSearch(time_budget=0.0)
+
+    def test_multiclass(self, blobs_3class):
+        X, y = blobs_3class
+        result = SuccessiveHalvingSearch(n_candidates=6, random_state=5).run(X, y)
+        assert result.best.score > 0.8
+        assert result.classes.tolist() == [0, 1, 2]
+
+
+class TestAutoMLWithHalving:
+    def test_strategy_switch(self, blobs_2class):
+        X, y = blobs_2class
+        automl = AutoMLClassifier(
+            n_iterations=9, search_strategy="halving", ensemble_size=3, random_state=0
+        ).fit(X, y)
+        assert automl.score(X, y) > 0.9
+        assert len(automl.ensemble_members_) >= 1
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValidationError):
+            AutoMLClassifier(search_strategy="simulated_annealing")
+
+    def test_feedback_composes_with_halving(self, scream_data):
+        from repro.core import AleFeedback, within_ale_committee
+
+        automl = AutoMLClassifier(
+            n_iterations=9, search_strategy="halving", ensemble_size=4,
+            min_distinct_members=3, random_state=1,
+        ).fit(scream_data.X, scream_data.y)
+        report = AleFeedback(grid_size=10).analyze(
+            within_ale_committee(automl), scream_data.X, scream_data.domains
+        )
+        assert report.committee_size >= 2

@@ -1,0 +1,136 @@
+"""Tests for meta-learning warm start."""
+
+import numpy as np
+import pytest
+
+from repro.automl import (
+    MetaLearningStore,
+    RandomSearch,
+    WarmStartSearch,
+    compute_meta_features,
+)
+from repro.automl.meta import META_FEATURE_NAMES, MetaRecord
+from repro.exceptions import ValidationError
+
+
+class TestMetaFeatures:
+    def test_fixed_length_vector(self, blobs_2class):
+        X, y = blobs_2class
+        meta = compute_meta_features(X, y)
+        assert meta.shape == (len(META_FEATURE_NAMES),)
+        assert np.all(np.isfinite(meta))
+
+    def test_captures_size(self, blobs_2class):
+        X, y = blobs_2class
+        small = compute_meta_features(X[:50], y[:50])
+        large = compute_meta_features(X, y)
+        assert large[0] > small[0]  # log_n_samples
+
+    def test_captures_imbalance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 2))
+        balanced = compute_meta_features(X, np.array([0, 1] * 50))
+        skewed = compute_meta_features(X, np.array([0] * 90 + [1] * 10))
+        assert balanced[3] > skewed[3]  # class entropy
+        assert skewed[4] > balanced[4]  # majority fraction
+
+    def test_similar_closer_than_dissimilar(self, blobs_2class):
+        X, y = blobs_2class
+        a = compute_meta_features(X[:140], y[:140])
+        b = compute_meta_features(X[140:280], y[140:280])
+        rng = np.random.default_rng(0)
+        X_other = np.abs(rng.lognormal(3.0, 2.0, size=(500, 9)))
+        y_other = rng.integers(0, 4, size=500)
+        c = compute_meta_features(X_other, y_other)
+        assert np.linalg.norm(a - b) < np.linalg.norm(a - c)
+
+
+class TestStore:
+    def test_remember_and_suggest(self, blobs_2class, tmp_path):
+        X, y = blobs_2class
+        store = MetaLearningStore(tmp_path / "meta.json")
+        result = RandomSearch(n_iterations=6, random_state=0).run(X, y)
+        store.remember(X, y, result)
+        assert len(store) >= 1
+        suggestions = store.suggest(X, y, k=3)
+        assert suggestions
+        assert suggestions[0].family == result.evaluated[0].candidate.family
+
+    def test_persistence_roundtrip(self, blobs_2class, tmp_path):
+        X, y = blobs_2class
+        path = tmp_path / "meta.json"
+        store = MetaLearningStore(path)
+        result = RandomSearch(n_iterations=4, random_state=1).run(X, y)
+        store.remember(X, y, result)
+        reloaded = MetaLearningStore(path)
+        assert len(reloaded) == len(store)
+        assert reloaded.suggest(X, y, k=1)[0].family == store.suggest(X, y, k=1)[0].family
+
+    def test_empty_store_suggests_nothing(self, blobs_2class):
+        X, y = blobs_2class
+        assert MetaLearningStore().suggest(X, y) == []
+
+    def test_suggestions_deduplicated(self, blobs_2class):
+        X, y = blobs_2class
+        store = MetaLearningStore()
+        record = MetaRecord(
+            meta_features=compute_meta_features(X, y).tolist(),
+            family="gaussian_nb",
+            params={"var_smoothing": 1e-9},
+            scaler="none",
+            score=0.9,
+        )
+        store.records = [record, record, record]
+        assert len(store.suggest(X, y, k=5)) == 1
+
+
+class TestWarmStartSearch:
+    def test_warm_candidates_evaluated_first(self, blobs_2class):
+        X, y = blobs_2class
+        store = MetaLearningStore()
+        store.records = [
+            MetaRecord(
+                meta_features=compute_meta_features(X, y).tolist(),
+                family="gaussian_nb",
+                params={"var_smoothing": 1e-8},
+                scaler="standard",
+                score=0.99,
+            )
+        ]
+        search = WarmStartSearch(store, n_iterations=4, n_warm=1, remember=False, random_state=0)
+        result = search.run(X, y)
+        families = [item.candidate.family for item in result.evaluated] + [
+            c.family for c, _ in result.failures
+        ]
+        assert "gaussian_nb" in families
+
+    def test_learning_accumulates(self, blobs_2class, blobs_3class):
+        X2, y2 = blobs_2class
+        store = MetaLearningStore()
+        WarmStartSearch(store, n_iterations=5, n_warm=2, random_state=0).run(X2, y2)
+        assert len(store) >= 1
+        X3, y3 = blobs_3class
+        WarmStartSearch(store, n_iterations=5, n_warm=2, random_state=1).run(X3, y3)
+        assert len(store) >= 2
+
+    def test_stale_record_skipped(self, blobs_2class):
+        X, y = blobs_2class
+        store = MetaLearningStore()
+        store.records = [
+            MetaRecord(
+                meta_features=compute_meta_features(X, y).tolist(),
+                family="model_from_the_future",
+                params={"quantumness": 11},
+                scaler="none",
+                score=1.0,
+            )
+        ]
+        result = WarmStartSearch(store, n_iterations=4, n_warm=1, remember=False, random_state=0).run(X, y)
+        assert result.evaluated  # ran fine without the unknown family
+
+    def test_budget_validation(self):
+        store = MetaLearningStore()
+        with pytest.raises(ValidationError):
+            WarmStartSearch(store, n_iterations=5, n_warm=5)
+        with pytest.raises(ValidationError):
+            WarmStartSearch(store, n_warm=-1)

@@ -1,0 +1,87 @@
+"""Tests for repro.automl.pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.automl.pipeline import Pipeline
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml import GaussianNB, LogisticRegression, StandardScaler
+
+
+def _make(blobs):
+    X, y = blobs
+    return Pipeline([("scale", StandardScaler()), ("model", GaussianNB())]).fit(X, y)
+
+
+class TestPipelineConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Pipeline([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            Pipeline([("a", StandardScaler()), ("a", GaussianNB())])
+
+    def test_non_transformer_middle_rejected(self):
+        with pytest.raises(ValidationError, match="transform"):
+            Pipeline([("model", GaussianNB()), ("model2", GaussianNB())])
+
+    def test_non_classifier_tail_rejected(self):
+        with pytest.raises(ValidationError, match="classifier"):
+            Pipeline([("scale", StandardScaler())])
+
+    def test_named_steps_view(self):
+        pipeline = Pipeline([("scale", StandardScaler()), ("model", GaussianNB())])
+        assert set(pipeline.named_steps) == {"scale", "model"}
+
+
+class TestPipelineBehaviour:
+    def test_fit_predict(self, blobs_2class):
+        pipeline = _make(blobs_2class)
+        X, y = blobs_2class
+        assert pipeline.score(X, y) > 0.9
+
+    def test_predict_proba_shape(self, blobs_3class):
+        X, y = blobs_3class
+        pipeline = Pipeline([("model", GaussianNB())]).fit(X, y)
+        assert pipeline.predict_proba(X).shape == (X.shape[0], 3)
+
+    def test_classes_forwarded(self, blobs_2class):
+        pipeline = _make(blobs_2class)
+        assert pipeline.classes_.tolist() == [0, 1]
+
+    def test_unfitted_raises(self, blobs_2class):
+        X, _ = blobs_2class
+        pipeline = Pipeline([("scale", StandardScaler()), ("model", GaussianNB())])
+        with pytest.raises(NotFittedError):
+            pipeline.predict(X)
+
+    def test_scaling_actually_applied(self):
+        # kNN-free check: logistic regression on wildly-scaled features
+        # converges to a better fit when the scaler is present.
+        rng = np.random.default_rng(0)
+        X = np.column_stack([rng.normal(size=400) * 1e6, rng.normal(size=400)])
+        y = (X[:, 0] / 1e6 + X[:, 1] > 0).astype(int)
+        scaled = Pipeline([("scale", StandardScaler()), ("model", LogisticRegression(max_iter=50))]).fit(X, y)
+        assert scaled.score(X, y) > 0.9
+
+    def test_clone_is_unfitted_deep_copy(self, blobs_2class):
+        X, y = blobs_2class
+        pipeline = _make(blobs_2class)
+        copy = pipeline.clone()
+        assert copy is not pipeline
+        with pytest.raises(NotFittedError):
+            copy.predict(X)
+        copy.fit(X, y)
+        assert copy.score(X, y) > 0.9
+        # The original's fitted state is untouched.
+        assert pipeline.score(X, y) > 0.9
+
+    def test_get_params_flattened(self):
+        pipeline = Pipeline([("scale", StandardScaler()), ("model", LogisticRegression(C=3.0))])
+        params = pipeline.get_params()
+        assert params["model__C"] == 3.0
+
+    def test_repr_mentions_steps(self):
+        pipeline = Pipeline([("model", GaussianNB())])
+        assert "GaussianNB" in repr(pipeline)

@@ -1,0 +1,122 @@
+"""Tests for the hyper-parameter search space machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automl.spaces import (
+    Candidate,
+    Categorical,
+    FloatRange,
+    IntRange,
+    default_model_families,
+    sample_candidate,
+)
+from repro.exceptions import ValidationError
+
+
+class TestCategorical:
+    def test_samples_from_choices(self):
+        space = Categorical("a", "b", "c")
+        rng = np.random.default_rng(0)
+        draws = {space.sample(rng) for _ in range(50)}
+        assert draws == {"a", "b", "c"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Categorical()
+
+
+class TestIntRange:
+    def test_inclusive_bounds(self):
+        space = IntRange(3, 5)
+        rng = np.random.default_rng(0)
+        draws = {space.sample(rng) for _ in range(200)}
+        assert draws == {3, 4, 5}
+
+    def test_log_scale_in_bounds(self):
+        space = IntRange(1, 100, log=True)
+        rng = np.random.default_rng(1)
+        draws = [space.sample(rng) for _ in range(300)]
+        assert min(draws) >= 1 and max(draws) <= 100
+        # Log sampling should visit the low decade much more than linear.
+        assert sum(d <= 10 for d in draws) > 100
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            IntRange(5, 3)
+        with pytest.raises(ValidationError):
+            IntRange(0, 5, log=True)
+
+
+class TestFloatRange:
+    def test_in_bounds(self):
+        space = FloatRange(0.5, 2.0)
+        rng = np.random.default_rng(2)
+        draws = [space.sample(rng) for _ in range(100)]
+        assert all(0.5 <= d <= 2.0 for d in draws)
+
+    def test_log_scale(self):
+        space = FloatRange(1e-4, 1.0, log=True)
+        rng = np.random.default_rng(3)
+        draws = [space.sample(rng) for _ in range(500)]
+        assert all(1e-4 <= d <= 1.0 for d in draws)
+        assert sum(d < 1e-2 for d in draws) > 150  # half the log-range
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            FloatRange(2.0, 1.0)
+        with pytest.raises(ValidationError):
+            FloatRange(0.0, 1.0, log=True)
+
+
+class TestDefaultFamilies:
+    def test_has_expected_families(self):
+        names = {family.name for family in default_model_families()}
+        assert {"decision_tree", "random_forest", "extra_trees", "gradient_boosting",
+                "logistic_regression", "gaussian_nb", "knn"} <= names
+
+    def test_every_family_buildable_and_fittable(self, blobs_2class):
+        X, y = blobs_2class
+        rng = np.random.default_rng(4)
+        for family in default_model_families():
+            params = {name: space.sample(rng) for name, space in family.space.items()}
+            model = family.build(params, rng)
+            model.fit(X, y)
+            assert model.score(X, y) > 0.5
+
+
+class TestSampleCandidate:
+    def test_produces_fittable_pipeline(self, blobs_2class):
+        X, y = blobs_2class
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            candidate = sample_candidate(default_model_families(), rng)
+            candidate.pipeline.fit(X, y)
+            assert candidate.pipeline.predict_proba(X).shape[0] == X.shape[0]
+
+    def test_describe_is_readable(self):
+        rng = np.random.default_rng(6)
+        candidate = sample_candidate(default_model_families(), rng)
+        text = candidate.describe()
+        assert candidate.family in text and "scaler=" in text
+
+    def test_unknown_scaler_rejected(self):
+        with pytest.raises(ValidationError):
+            sample_candidate(default_model_families(), np.random.default_rng(0), scaler_choices=("turbo",))
+
+    def test_empty_families_rejected(self):
+        with pytest.raises(ValidationError):
+            sample_candidate([], np.random.default_rng(0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_candidate_sampling_deterministic_property(seed):
+    """Same rng seed -> identical candidate configuration."""
+    a = sample_candidate(default_model_families(), np.random.default_rng(seed))
+    b = sample_candidate(default_model_families(), np.random.default_rng(seed))
+    assert a.family == b.family
+    assert a.scaler == b.scaler
+    assert a.params == b.params

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_present(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("table1", "ucl", "figure1", "figure2", "sweep", "emulate"):
+            assert command in text
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_emulate_args(self):
+        args = build_parser().parse_args(
+            ["emulate", "--bandwidth", "5", "--rtt", "10", "--loss", "0.01", "--flows", "2",
+             "--engine", "fluid", "--seed", "3"]
+        )
+        assert args.bandwidth == 5.0
+        assert args.engine == "fluid"
+        assert args.seed == 3
+
+    def test_common_flags(self):
+        args = build_parser().parse_args(["table1", "--seed", "9", "--paper-scale"])
+        assert args.seed == 9 and args.paper_scale
+
+
+class TestExecution:
+    def test_emulate_runs(self, capsys):
+        code = main(
+            ["emulate", "--bandwidth", "10", "--rtt", "30", "--engine", "fluid", "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scream" in out and "p95 delay" in out
+
+    def test_emulate_packet_engine(self, capsys):
+        code = main(
+            ["emulate", "--bandwidth", "10", "--rtt", "30", "--engine", "packet", "--seed", "0"]
+        )
+        assert code == 0
+        assert "vegas" in capsys.readouterr().out
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["emulate", "--engine", "carrier-pigeon"])

@@ -1,0 +1,190 @@
+"""Tests for the ALE computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ale import ale_curve, ale_curves_for_models, make_grid
+from repro.exceptions import ValidationError
+from repro.ml.linear import softmax
+
+
+class _LinearProbaModel:
+    """predict_proba = sigmoid(w @ x): analytically tractable for ALE."""
+
+    def __init__(self, weights):
+        self.weights = np.asarray(weights, dtype=np.float64)
+
+    def predict_proba(self, X):
+        logits = np.asarray(X) @ self.weights
+        return softmax(np.column_stack([np.zeros_like(logits), logits]))
+
+
+class _IgnoresFeatureModel:
+    """Output depends on feature 1 only."""
+
+    def predict_proba(self, X):
+        X = np.asarray(X)
+        p = 1 / (1 + np.exp(-X[:, 1]))
+        return np.column_stack([1 - p, p])
+
+
+class TestMakeGrid:
+    def test_quantile_grid_covers_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=500)
+        edges = make_grid(x, grid_size=10)
+        assert edges[0] == pytest.approx(x.min())
+        assert edges[-1] == pytest.approx(x.max())
+        assert np.all(np.diff(edges) > 0)
+
+    def test_quantile_grid_equal_mass(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=1000)
+        edges = make_grid(x, grid_size=8)
+        counts, _ = np.histogram(x, bins=edges)
+        assert counts.min() >= 100  # ~125 each
+
+    def test_uniform_grid_spacing(self):
+        edges = make_grid(np.array([0.0, 10.0]), grid_size=5, strategy="uniform", domain=(0, 10))
+        assert np.allclose(np.diff(edges), 2.0)
+
+    def test_duplicate_edges_dropped(self):
+        x = np.array([1.0] * 95 + [2.0] * 5)
+        edges = make_grid(x, grid_size=10)
+        assert np.unique(edges).size == edges.size
+
+    def test_constant_feature_rejected(self):
+        with pytest.raises(ValidationError, match="constant"):
+            make_grid(np.ones(50), grid_size=5)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            make_grid(np.array([1.0]), grid_size=5)
+        with pytest.raises(ValidationError):
+            make_grid(np.array([1.0, 2.0]), grid_size=1)
+        with pytest.raises(ValidationError):
+            make_grid(np.array([1.0, 2.0]), strategy="magic")
+        with pytest.raises(ValidationError):
+            make_grid(np.array([1.0, 2.0]), strategy="uniform", domain=(5, 5))
+
+
+class TestAleCurve:
+    def _data(self, n=600, d=3, seed=0):
+        return np.random.default_rng(seed).uniform(-2, 2, size=(n, d))
+
+    def test_linear_model_gives_linear_ale(self):
+        # For f(x) = sigmoid(w0*x0), ALE of x0 should be monotonically
+        # increasing and ALE of an ignored feature flat.
+        X = self._data()
+        model = _LinearProbaModel([1.5, 0.0, 0.0])
+        edges = make_grid(X[:, 0], grid_size=12)
+        curve = ale_curve(model, X, 0, edges)
+        assert np.all(np.diff(curve.values[:, 1]) >= -1e-9)
+        assert curve.value_range() > 0.3
+
+    def test_ignored_feature_is_flat(self):
+        X = self._data()
+        model = _IgnoresFeatureModel()
+        edges = make_grid(X[:, 0], grid_size=12)
+        curve = ale_curve(model, X, 0, edges)
+        assert curve.value_range() < 1e-9
+
+    def test_centering_weighted_zero_mean(self):
+        X = self._data()
+        model = _LinearProbaModel([1.0, 0.5, -0.5])
+        edges = make_grid(X[:, 1], grid_size=10)
+        curve = ale_curve(model, X, 1, edges)
+        weighted_mean = np.sum(curve.counts[:, None] * curve.values, axis=0) / curve.counts.sum()
+        assert np.allclose(weighted_mean, 0.0, atol=1e-9)
+
+    def test_counts_sum_to_samples(self):
+        X = self._data(n=200)
+        edges = make_grid(X[:, 0], grid_size=8)
+        curve = ale_curve(_IgnoresFeatureModel(), X, 0, edges)
+        assert curve.counts.sum() == 200
+
+    def test_probability_class_columns(self):
+        X = self._data()
+        edges = make_grid(X[:, 0], grid_size=6)
+        curve = ale_curve(_LinearProbaModel([1.0, 0, 0]), X, 0, edges)
+        assert curve.n_classes == 2
+        # Class 0's ALE is the mirror image of class 1's (probabilities sum to 1).
+        assert np.allclose(curve.values[:, 0], -curve.values[:, 1], atol=1e-12)
+
+    def test_grid_metadata(self):
+        X = self._data()
+        edges = make_grid(X[:, 2], grid_size=7)
+        curve = ale_curve(_IgnoresFeatureModel(), X, 2, edges, feature_name="loss")
+        assert curve.feature_name == "loss"
+        assert curve.grid.shape[0] == curve.n_bins == edges.size - 1
+
+    def test_out_of_range_samples_clamped(self):
+        X = self._data()
+        edges = np.array([-0.5, 0.0, 0.5])  # narrower than the data
+        curve = ale_curve(_LinearProbaModel([1, 0, 0]), X, 0, edges)
+        assert curve.counts.sum() == X.shape[0]
+
+    def test_validation(self):
+        X = self._data()
+        model = _IgnoresFeatureModel()
+        with pytest.raises(ValidationError):
+            ale_curve(model, X, 99, np.array([0.0, 1.0]))
+        with pytest.raises(ValidationError):
+            ale_curve(model, X, 0, np.array([0.0]))
+        with pytest.raises(ValidationError):
+            ale_curve(model, X[0], 0, np.array([0.0, 1.0]))
+
+    def test_ale_insensitive_to_correlated_shift(self):
+        # The key ALE property vs PDP: effects are computed locally, so a
+        # strong correlation between features does not leak feature 1's
+        # effect into feature 0's curve.
+        rng = np.random.default_rng(3)
+        x0 = rng.uniform(-2, 2, size=800)
+        x1 = x0 + rng.normal(0, 0.1, size=800)  # highly correlated
+        X = np.column_stack([x0, x1])
+        model = _IgnoresFeatureModel()  # only uses feature 1
+        edges = make_grid(X[:, 0], grid_size=10)
+        curve0 = ale_curve(model, X, 0, edges)
+        assert curve0.value_range() < 0.05
+
+
+class TestAleAcrossModels:
+    def test_shared_grid_alignment(self, blobs_2class):
+        X, _ = blobs_2class
+        models = [_LinearProbaModel([1.0, 0.0]), _LinearProbaModel([2.0, 0.0])]
+        edges = make_grid(X[:, 0], grid_size=8)
+        curves = ale_curves_for_models(models, X, 0, edges)
+        assert len(curves) == 2
+        assert np.array_equal(curves[0].edges, curves[1].edges)
+
+    def test_identical_models_zero_variance(self, blobs_2class):
+        X, _ = blobs_2class
+        models = [_LinearProbaModel([1.0, 0.0])] * 3
+        edges = make_grid(X[:, 0], grid_size=8)
+        curves = ale_curves_for_models(models, X, 0, edges)
+        stacked = np.stack([c.values for c in curves])
+        assert np.allclose(stacked.std(axis=0), 0.0)
+
+    def test_empty_committee_rejected(self, blobs_2class):
+        X, _ = blobs_2class
+        with pytest.raises(ValidationError):
+            ale_curves_for_models([], X, 0, np.array([0.0, 1.0]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    weight=st.floats(-3, 3, allow_nan=False),
+    grid_size=st.integers(3, 20),
+)
+def test_ale_centering_property(seed, weight, grid_size):
+    """Count-weighted mean of any ALE curve is ~0 (centering invariant)."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(150, 2))
+    model = _LinearProbaModel([weight, 0.3])
+    edges = make_grid(X[:, 0], grid_size=grid_size)
+    curve = ale_curve(model, X, 0, edges)
+    weighted = np.sum(curve.counts[:, None] * curve.values, axis=0) / curve.counts.sum()
+    assert np.allclose(weighted, 0.0, atol=1e-9)

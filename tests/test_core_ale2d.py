@@ -1,0 +1,102 @@
+"""Tests for second-order (interaction) ALE."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_grid
+from repro.core.ale2d import ale_interaction, interaction_disagreement
+from repro.exceptions import ValidationError
+from repro.ml.linear import softmax
+
+
+class _AdditiveModel:
+    """P(class 1) linear in x0 and x1: exactly zero interaction.
+
+    (A sigmoid over the sum would NOT qualify — the sigmoid's curvature
+    creates genuine probability-space interaction.)
+    """
+
+    def predict_proba(self, X):
+        X = np.asarray(X)
+        p = np.clip(0.5 + 0.1 * X[:, 0] + 0.05 * X[:, 1], 0.0, 1.0)
+        return np.column_stack([1 - p, p])
+
+
+class _XorModel:
+    """f = sigmoid(k * x0 * x1): pure interaction."""
+
+    def __init__(self, k=2.0):
+        self.k = k
+
+    def predict_proba(self, X):
+        X = np.asarray(X)
+        logits = self.k * X[:, 0] * X[:, 1]
+        return softmax(np.column_stack([np.zeros_like(logits), logits]))
+
+
+@pytest.fixture
+def data():
+    return np.random.default_rng(0).uniform(-2, 2, size=(2000, 3))
+
+
+def _edges(data, feature):
+    return make_grid(data[:, feature], grid_size=8)
+
+
+class TestAleInteraction:
+    def test_additive_model_has_no_interaction(self, data):
+        surface = ale_interaction(_AdditiveModel(), data, 0, 1, _edges(data, 0), _edges(data, 1))
+        assert surface.interaction_strength() < 0.02
+
+    def test_multiplicative_model_has_interaction(self, data):
+        surface = ale_interaction(_XorModel(), data, 0, 1, _edges(data, 0), _edges(data, 1))
+        assert surface.interaction_strength() > 0.05
+
+    def test_interaction_sign_structure(self, data):
+        # For f = sigmoid(x0*x1), the interaction surface is positive in
+        # the (+,+)/(-,-) quadrants and negative in the mixed ones.
+        surface = ale_interaction(_XorModel(), data, 0, 1, _edges(data, 0), _edges(data, 1))
+        grid_a, grid_b = surface.grid_a, surface.grid_b
+        pp = surface.values[np.ix_(grid_a > 1.0, grid_b > 1.0)].mean()
+        pm = surface.values[np.ix_(grid_a > 1.0, grid_b < -1.0)].mean()
+        assert pp > 0 > pm
+
+    def test_irrelevant_pair_is_flat(self, data):
+        surface = ale_interaction(_XorModel(), data, 0, 2, _edges(data, 0), _edges(data, 2))
+        assert surface.interaction_strength() < 0.02
+
+    def test_shapes(self, data):
+        ea, eb = _edges(data, 0), _edges(data, 1)
+        surface = ale_interaction(_AdditiveModel(), data, 0, 1, ea, eb)
+        assert surface.values.shape == (ea.size - 1, eb.size - 1)
+        assert surface.counts.sum() == data.shape[0]
+
+    def test_validation(self, data):
+        ea = _edges(data, 0)
+        with pytest.raises(ValidationError):
+            ale_interaction(_AdditiveModel(), data, 0, 0, ea, ea)
+        with pytest.raises(ValidationError):
+            ale_interaction(_AdditiveModel(), data, 0, 99, ea, ea)
+        with pytest.raises(ValidationError):
+            ale_interaction(_AdditiveModel(), data, 0, 1, np.array([1.0]), ea)
+
+
+class TestInteractionDisagreement:
+    def test_identical_models_zero_disagreement(self, data):
+        committee = [_XorModel(), _XorModel()]
+        std, surfaces = interaction_disagreement(
+            committee, data, 0, 1, _edges(data, 0), _edges(data, 1)
+        )
+        assert np.allclose(std, 0.0, atol=1e-12)
+        assert len(surfaces) == 2
+
+    def test_different_models_disagree(self, data):
+        committee = [_XorModel(k=1.0), _XorModel(k=4.0)]
+        std, _ = interaction_disagreement(
+            committee, data, 0, 1, _edges(data, 0), _edges(data, 1)
+        )
+        assert std.max() > 0.01
+
+    def test_committee_size_validated(self, data):
+        with pytest.raises(ValidationError):
+            interaction_disagreement([_XorModel()], data, 0, 1, _edges(data, 0), _edges(data, 1))

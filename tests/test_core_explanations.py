@@ -1,0 +1,91 @@
+"""Tests for the operator-facing rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.explanations import ascii_ale_plot, curves_to_csv, explain_report
+from repro.core.feedback import AleFeedback
+from repro.core.subspace import FeatureDomain
+from repro.exceptions import ValidationError
+from repro.ml.linear import softmax
+
+
+class _StepModel:
+    def __init__(self, threshold):
+        self.threshold = threshold
+
+    def predict_proba(self, X):
+        logits = 8.0 * (np.asarray(X)[:, 0] - self.threshold)
+        return softmax(np.column_stack([np.zeros_like(logits), logits]))
+
+
+@pytest.fixture
+def report():
+    domains = [FeatureDomain("link_rate", 0, 10), FeatureDomain("loss", 0, 10)]
+    X = np.random.default_rng(0).uniform(0, 10, size=(400, 2))
+    return AleFeedback(grid_size=16).analyze([_StepModel(4.0), _StepModel(6.0)], X, domains)
+
+
+class TestExplainReport:
+    def test_mentions_all_features(self, report):
+        text = explain_report(report)
+        assert "link_rate" in text and "loss" in text
+
+    def test_max_features_truncates(self, report):
+        text = explain_report(report, max_features=1)
+        assert "link_rate" in text  # highest disagreement first
+        assert "Feature 'loss'" not in text
+
+    def test_mentions_threshold_and_committee(self, report):
+        text = explain_report(report)
+        assert "2 models" in text
+        assert "T =" in text
+
+    def test_plain_language_present(self, report):
+        text = explain_report(report)
+        assert "label additional samples" in text or "no extra data needed" in text
+
+
+class TestAsciiPlot:
+    def test_contains_curve_and_axis(self, report):
+        text = ascii_ale_plot(report.profiles[0], threshold=report.threshold)
+        assert "*" in text
+        assert "ALE of 'link_rate'" in text
+
+    def test_flags_high_variance_columns(self, report):
+        text = ascii_ale_plot(report.profiles[0], threshold=report.threshold)
+        assert "^" in text
+
+    def test_no_threshold_no_flags(self, report):
+        text = ascii_ale_plot(report.profiles[0])
+        assert "disagreement > T" not in text
+
+    def test_dimension_validation(self, report):
+        with pytest.raises(ValidationError):
+            ascii_ale_plot(report.profiles[0], width=4)
+        with pytest.raises(ValidationError):
+            ascii_ale_plot(report.profiles[0], class_index=99)
+
+    def test_custom_size(self, report):
+        text = ascii_ale_plot(report.profiles[0], width=32, height=6)
+        lines = text.splitlines()
+        assert len(lines) <= 10
+
+
+class TestCsvExport:
+    def test_header_and_rows(self, report):
+        csv_text = curves_to_csv(report.profiles[0])
+        lines = csv_text.strip().splitlines()
+        header = lines[0].split(",")
+        assert header[:2] == ["grid", "count"]
+        assert "mean_class0" in header and "std_class1" in header
+        assert len(lines) - 1 == report.profiles[0].grid.shape[0]
+
+    def test_roundtrip_values(self, report):
+        profile = report.profiles[0]
+        csv_text = curves_to_csv(profile)
+        rows = [line.split(",") for line in csv_text.strip().splitlines()[1:]]
+        grid = np.array([float(row[0]) for row in rows])
+        assert np.allclose(grid, profile.grid)
+        counts = np.array([int(row[1]) for row in rows])
+        assert counts.sum() == profile.counts.sum()

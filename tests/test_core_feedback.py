@@ -1,0 +1,220 @@
+"""Tests for the feedback algorithm (the paper's §3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.feedback import (
+    AleFeedback,
+    cross_ale_committee,
+    median_threshold,
+    within_ale_committee,
+)
+from repro.core.subspace import FeatureDomain, Interval, IntervalUnion
+from repro.exceptions import ValidationError
+from repro.ml.linear import softmax
+
+
+class _StepModel:
+    """sigmoid(k * (x0 - threshold)): disagreement controlled via threshold."""
+
+    def __init__(self, threshold, k=8.0):
+        self.threshold = threshold
+        self.k = k
+
+    def predict_proba(self, X):
+        X = np.asarray(X)
+        logits = self.k * (X[:, 0] - self.threshold)
+        return softmax(np.column_stack([np.zeros_like(logits), logits]))
+
+
+@pytest.fixture
+def domains():
+    return [FeatureDomain("x0", 0.0, 10.0), FeatureDomain("x1", 0.0, 10.0)]
+
+
+@pytest.fixture
+def data():
+    return np.random.default_rng(0).uniform(0, 10, size=(600, 2))
+
+
+class TestAnalyze:
+    def test_disagreement_localized_where_models_differ(self, domains, data):
+        # Committee members put their decision step at 4 vs 6: the ALE
+        # curves differ exactly between the two thresholds.
+        committee = [_StepModel(4.0), _StepModel(6.0)]
+        report = AleFeedback(grid_size=20).analyze(committee, data, domains)
+        profile = report.profiles[0]
+        peak_location = profile.grid[np.argmax(profile.std_curve)]
+        assert 3.0 <= peak_location <= 7.0
+        # Feature 1 is ignored by both models: its disagreement is ~zero.
+        assert report.profiles[1].max_std < 1e-9
+
+    def test_agreeing_committee_yields_no_region_at_fixed_threshold(self, domains, data):
+        committee = [_StepModel(5.0), _StepModel(5.0)]
+        report = AleFeedback(threshold=0.01, grid_size=16).analyze(committee, data, domains)
+        assert not report.region
+        assert report.flagged_features == []
+
+    def test_median_heuristic_used_when_no_threshold(self, domains, data):
+        committee = [_StepModel(4.0), _StepModel(6.0)]
+        report = AleFeedback(grid_size=16).analyze(committee, data, domains)
+        assert report.threshold == pytest.approx(median_threshold(report.profiles))
+
+    def test_explicit_threshold_respected(self, domains, data):
+        committee = [_StepModel(4.0), _StepModel(6.0)]
+        report = AleFeedback(threshold=0.123, grid_size=16).analyze(committee, data, domains)
+        assert report.threshold == 0.123
+
+    def test_committee_of_one_rejected(self, domains, data):
+        with pytest.raises(ValidationError, match=">= 2"):
+            AleFeedback().analyze([_StepModel(5.0)], data, domains)
+
+    def test_domain_count_mismatch(self, data):
+        with pytest.raises(ValidationError):
+            AleFeedback().analyze([_StepModel(4), _StepModel(6)], data, [FeatureDomain("x", 0, 1)])
+
+    def test_class_aggregation_modes(self, domains, data):
+        committee = [_StepModel(4.0), _StepModel(6.0)]
+        max_report = AleFeedback(grid_size=12, class_aggregation="max").analyze(committee, data, domains)
+        mean_report = AleFeedback(grid_size=12, class_aggregation="mean").analyze(committee, data, domains)
+        assert np.all(max_report.profiles[0].std_curve >= mean_report.profiles[0].std_curve - 1e-12)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValidationError):
+            AleFeedback(threshold=-1.0)
+        with pytest.raises(ValidationError):
+            AleFeedback(class_aggregation="median")
+
+
+class TestHighVarianceIntervals:
+    def test_contiguous_bins_merge(self, domains, data):
+        committee = [_StepModel(4.0), _StepModel(6.0)]
+        report = AleFeedback(grid_size=20).analyze(committee, data, domains)
+        profile = report.profiles[0]
+        intervals = profile.high_variance_intervals(profile.max_std * 0.5)
+        assert len(intervals) >= 1
+        for interval in intervals:
+            assert interval.low >= profile.edges[0] - 1e-9
+            assert interval.high <= profile.edges[-1] + 1e-9
+
+    def test_threshold_above_max_yields_empty(self, domains, data):
+        committee = [_StepModel(4.0), _StepModel(6.0)]
+        report = AleFeedback(grid_size=12).analyze(committee, data, domains)
+        profile = report.profiles[0]
+        assert not profile.high_variance_intervals(profile.max_std + 1.0)
+
+    def test_paper_style_disjoint_union(self):
+        """Reconstruct the paper's `x <= 45 ∪ x >= 99` example shape."""
+        from repro.core.feedback import FeatureDisagreement
+
+        edges = np.linspace(0, 120, 13)  # bins of width 10
+        std = np.zeros(12)
+        std[:5] = 0.5   # bins covering [0, 50]
+        std[10:] = 0.5  # bins covering [100, 120]
+        profile = FeatureDisagreement(
+            domain=FeatureDomain("link_rate", 0, 120),
+            feature_index=0,
+            edges=edges,
+            mean_curve=np.zeros((12, 2)),
+            std_by_class=np.tile(std[:, None], (1, 2)),
+            std_curve=std,
+            counts=np.ones(12, dtype=int),
+        )
+        intervals = profile.high_variance_intervals(0.1)
+        assert intervals == IntervalUnion([Interval(0, 50), Interval(100, 120)])
+
+
+class TestReportActions:
+    def _report(self, domains, data, threshold=None):
+        committee = [_StepModel(4.0), _StepModel(6.0)]
+        return AleFeedback(threshold=threshold, grid_size=16).analyze(committee, data, domains)
+
+    def test_suggest_points_inside_region(self, domains, data):
+        report = self._report(domains, data)
+        points = report.suggest(40, random_state=0)
+        assert points.shape == (40, 2)
+        assert report.region.contains(points).all()
+
+    def test_suggest_without_region_raises(self, domains, data):
+        committee = [_StepModel(5.0), _StepModel(5.0)]
+        report = AleFeedback(threshold=1.0, grid_size=8).analyze(committee, data, domains)
+        with pytest.raises(ValidationError, match="threshold"):
+            report.suggest(5)
+
+    def test_filter_pool_indices_inside(self, domains, data):
+        report = self._report(domains, data)
+        pool = np.random.default_rng(1).uniform(0, 10, size=(300, 2))
+        picks = report.filter_pool(pool)
+        assert report.region.contains(pool[picks]).all()
+        outside = np.setdiff1d(np.arange(300), picks)
+        if outside.size:
+            assert not report.region.contains(pool[outside]).any()
+
+    def test_filter_pool_max_points(self, domains, data):
+        report = self._report(domains, data)
+        pool = np.random.default_rng(2).uniform(0, 10, size=(300, 2))
+        picks = report.filter_pool(pool, max_points=7, random_state=0)
+        assert picks.size <= 7
+
+    def test_restrict_to_drops_features(self, domains, data):
+        report = self._report(domains, data)
+        restricted = report.restrict_to(["x1"])
+        # x1 had ~zero disagreement, so nothing remains flagged.
+        assert all(p.domain.name == "x1" for p in restricted.profiles)
+
+    def test_restrict_to_unknown_feature(self, domains, data):
+        report = self._report(domains, data)
+        with pytest.raises(ValidationError):
+            report.restrict_to(["nope"])
+
+    def test_intervals_for(self, domains, data):
+        report = self._report(domains, data)
+        intervals = report.intervals_for("x0")
+        assert isinstance(intervals, IntervalUnion)
+        with pytest.raises(ValidationError):
+            report.intervals_for("bogus")
+
+    def test_summary_mentions_flagged_feature(self, domains, data):
+        report = self._report(domains, data)
+        assert "x0" in report.summary()
+
+
+class TestCommitteeBuilders:
+    def test_within_committee_uses_members(self, fitted_automl):
+        committee = within_ale_committee(fitted_automl)
+        assert len(committee) == len(fitted_automl.ensemble_members_)
+
+    def test_within_requires_ensemble(self):
+        class NoEnsemble:
+            pass
+
+        with pytest.raises(ValidationError, match="ensemble"):
+            within_ale_committee(NoEnsemble())
+
+    def test_cross_committee_uses_run_ensembles(self, fitted_automl):
+        committee = cross_ale_committee([fitted_automl, fitted_automl])
+        assert len(committee) == 2
+        assert committee[0] is fitted_automl.ensemble_
+
+    def test_cross_needs_two_runs(self, fitted_automl):
+        with pytest.raises(ValidationError):
+            cross_ale_committee([fitted_automl])
+
+    def test_cross_accepts_plain_models(self):
+        committee = cross_ale_committee([_StepModel(4.0), _StepModel(6.0)])
+        assert len(committee) == 2
+
+
+class TestEndToEndWithAutoML:
+    def test_feedback_from_real_ensemble(self, fitted_automl, scream_data):
+        report = AleFeedback(grid_size=12).analyze(
+            within_ale_committee(fitted_automl), scream_data.X, scream_data.domains
+        )
+        assert len(report.profiles) == scream_data.n_features
+        assert report.committee_size >= 2
+        if report.region:
+            points = report.suggest(10, random_state=0)
+            assert points.shape == (10, scream_data.n_features)
+            # Integer domains stay integral in suggestions.
+            flows = points[:, 3]
+            assert np.all(flows == np.round(flows))

@@ -1,0 +1,275 @@
+"""Tests for the subspace algebra (intervals, boxes, half-space unions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.subspace import Box, FeatureDomain, Interval, IntervalUnion, SubspaceUnion
+from repro.exceptions import SubspaceError
+
+
+class TestInterval:
+    def test_contains_scalar_and_vector(self):
+        interval = Interval(1.0, 3.0)
+        assert interval.contains(2.0) is True
+        assert interval.contains(0.5) is False
+        assert interval.contains([0.0, 1.0, 2.0, 4.0]).tolist() == [False, True, True, False]
+
+    def test_bounds_inclusive(self):
+        interval = Interval(1.0, 3.0)
+        assert interval.contains(1.0) and interval.contains(3.0)
+
+    def test_length(self):
+        assert Interval(2.0, 5.0).length == 3.0
+        assert Interval(2.0, 2.0).length == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(SubspaceError):
+            Interval(3.0, 1.0)
+        with pytest.raises(SubspaceError):
+            Interval(float("nan"), 1.0)
+        with pytest.raises(SubspaceError):
+            Interval(0.0, float("inf"))
+
+    def test_intersection(self):
+        assert Interval(0, 2).intersection(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 1).intersection(Interval(2, 3)) is None
+        assert Interval(0, 1).intersection(Interval(1, 2)) == Interval(1, 1)
+
+    def test_sample_within(self):
+        rng = np.random.default_rng(0)
+        draws = Interval(5.0, 6.0).sample(100, rng)
+        assert np.all((draws >= 5.0) & (draws <= 6.0))
+
+    def test_degenerate_sample(self):
+        draws = Interval(2.0, 2.0).sample(5, np.random.default_rng(0))
+        assert np.all(draws == 2.0)
+
+
+class TestIntervalUnion:
+    def test_merges_overlaps(self):
+        union = IntervalUnion([Interval(0, 2), Interval(1, 3), Interval(5, 6)])
+        assert len(union) == 2
+        assert union.intervals[0] == Interval(0, 3)
+
+    def test_merges_touching(self):
+        union = IntervalUnion([Interval(0, 1), Interval(1, 2)])
+        assert len(union) == 1
+
+    def test_canonical_form_equality(self):
+        a = IntervalUnion([Interval(0, 1), Interval(2, 3)])
+        b = IntervalUnion([Interval(2, 3), Interval(0, 1)])
+        assert a == b
+
+    def test_total_length(self):
+        union = IntervalUnion([Interval(0, 1), Interval(5, 7)])
+        assert union.total_length == 3.0
+
+    def test_contains(self):
+        union = IntervalUnion([Interval(0, 1), Interval(5, 7)])
+        assert union.contains([0.5, 3.0, 6.0]).tolist() == [True, False, True]
+
+    def test_intersection(self):
+        a = IntervalUnion([Interval(0, 4)])
+        b = IntervalUnion([Interval(1, 2), Interval(3, 6)])
+        result = a.intersection(b)
+        assert result == IntervalUnion([Interval(1, 2), Interval(3, 4)])
+
+    def test_clip(self):
+        union = IntervalUnion([Interval(0, 10)])
+        assert union.clip(2, 5) == IntervalUnion([Interval(2, 5)])
+
+    def test_empty_behaviour(self):
+        empty = IntervalUnion()
+        assert not empty
+        assert str(empty) == "∅"
+        with pytest.raises(SubspaceError):
+            empty.sample(3, np.random.default_rng(0))
+
+    def test_sample_proportional_to_length(self):
+        union = IntervalUnion([Interval(0, 9), Interval(100, 101)])
+        draws = union.sample(500, np.random.default_rng(0))
+        fraction_low = np.mean(draws < 50)
+        assert fraction_low == pytest.approx(0.9, abs=0.07)
+
+    def test_sample_point_intervals(self):
+        union = IntervalUnion([Interval(1, 1), Interval(2, 2)])
+        draws = union.sample(50, np.random.default_rng(0))
+        assert set(draws.tolist()) <= {1.0, 2.0}
+
+    def test_str_matches_paper_style(self):
+        union = IntervalUnion([Interval(0, 45), Interval(99, 120)])
+        assert "∪" in str(union)
+
+
+class TestFeatureDomain:
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SubspaceError):
+            FeatureDomain("x", 1.0, 1.0)
+
+    def test_integer_sampling_rounds(self):
+        domain = FeatureDomain("flows", 1, 8, integer=True)
+        draws = domain.sample(100, np.random.default_rng(0))
+        assert np.all(draws == np.round(draws))
+
+
+class TestBox:
+    @pytest.fixture
+    def domains(self):
+        return (FeatureDomain("a", 0, 10), FeatureDomain("b", 0, 100))
+
+    def test_contains(self, domains):
+        box = Box(domains, {0: Interval(2, 4)})
+        assert box.contains([[3.0, 50.0]])[0]
+        assert not box.contains([[5.0, 50.0]])[0]
+
+    def test_constraint_clipped_to_domain(self, domains):
+        box = Box(domains, {0: Interval(5, 50)})
+        assert box.interval_for(0) == Interval(5, 10)
+
+    def test_constraint_outside_domain_rejected(self, domains):
+        with pytest.raises(SubspaceError):
+            Box(domains, {0: Interval(20, 30)})
+
+    def test_out_of_range_feature_rejected(self, domains):
+        with pytest.raises(SubspaceError):
+            Box(domains, {7: Interval(0, 1)})
+
+    def test_relative_volume(self, domains):
+        box = Box(domains, {0: Interval(0, 5)})  # half of a, all of b
+        assert box.volume() == pytest.approx(0.5)
+
+    def test_halfspace_form(self, domains):
+        box = Box(domains, {0: Interval(2, 4)})
+        A, b = box.as_halfspaces()
+        assert A.shape == (2, 2)
+        # A x <= b must hold exactly for inside points, fail outside.
+        inside = np.array([3.0, 50.0])
+        outside = np.array([5.0, 50.0])
+        assert np.all(A @ inside <= b + 1e-12)
+        assert not np.all(A @ outside <= b + 1e-12)
+
+    def test_unconstrained_box_has_no_rows(self, domains):
+        A, b = Box(domains, {}).as_halfspaces()
+        assert A.shape == (0, 2)
+
+    def test_sample_respects_constraints_and_integrality(self):
+        domains = (FeatureDomain("a", 0, 10), FeatureDomain("n", 1, 8, integer=True))
+        box = Box(domains, {0: Interval(2, 3)})
+        draws = box.sample(200, np.random.default_rng(0))
+        assert np.all((draws[:, 0] >= 2) & (draws[:, 0] <= 3))
+        assert np.all(draws[:, 1] == np.round(draws[:, 1]))
+
+    def test_describe(self, domains):
+        assert "a ∈" in Box(domains, {0: Interval(1, 2)}).describe()
+        assert Box(domains, {}).describe() == "entire domain"
+
+
+class TestSubspaceUnion:
+    @pytest.fixture
+    def domains(self):
+        return (FeatureDomain("a", 0, 10), FeatureDomain("b", 0, 10))
+
+    def test_contains_union_semantics(self, domains):
+        union = SubspaceUnion(domains)
+        union.add(Box(domains, {0: Interval(0, 1)}))
+        union.add(Box(domains, {1: Interval(9, 10)}))
+        points = np.array([[0.5, 5.0], [5.0, 9.5], [5.0, 5.0]])
+        assert union.contains(points).tolist() == [True, True, False]
+
+    def test_sample_stays_inside(self, domains):
+        union = SubspaceUnion(domains, [Box(domains, {0: Interval(2, 3)})])
+        draws = union.sample(100, 0)
+        assert union.contains(draws).all()
+
+    def test_sample_union_uniformity_over_overlap(self, domains):
+        # Two heavily overlapping boxes must not double density.
+        union = SubspaceUnion(
+            domains,
+            [Box(domains, {0: Interval(0, 6)}), Box(domains, {0: Interval(4, 10)})],
+        )
+        draws = union.sample(3000, 1)
+        in_overlap = np.mean((draws[:, 0] >= 4) & (draws[:, 0] <= 6))
+        assert in_overlap == pytest.approx(0.2, abs=0.05)
+
+    def test_empty_union(self, domains):
+        union = SubspaceUnion(domains)
+        assert not union
+        assert union.volume() == 0.0
+        with pytest.raises(SubspaceError):
+            union.sample(1)
+
+    def test_mismatched_domains_rejected(self, domains):
+        other = (FeatureDomain("x", 0, 1),)
+        union = SubspaceUnion(domains)
+        with pytest.raises(SubspaceError):
+            union.add(Box(other, {}))
+
+    def test_halfspace_union_form(self, domains):
+        union = SubspaceUnion(
+            domains,
+            [Box(domains, {0: Interval(0, 1)}), Box(domains, {1: Interval(2, 3)})],
+        )
+        systems = union.as_halfspaces()
+        assert len(systems) == 2
+        for A, b in systems:
+            assert A.shape[0] == b.shape[0] == 2
+
+    def test_monte_carlo_volume(self, domains):
+        union = SubspaceUnion(
+            domains,
+            [Box(domains, {0: Interval(0, 5)}), Box(domains, {0: Interval(5, 10)})],
+        )
+        assert union.volume() == pytest.approx(1.0, abs=0.05)
+
+
+@st.composite
+def _interval_lists(draw):
+    n = draw(st.integers(1, 6))
+    intervals = []
+    for _ in range(n):
+        low = draw(st.floats(-100, 100, allow_nan=False))
+        width = draw(st.floats(0, 50, allow_nan=False))
+        intervals.append(Interval(low, low + width))
+    return intervals
+
+
+@settings(max_examples=60, deadline=None)
+@given(_interval_lists())
+def test_interval_union_canonical_property(intervals):
+    """Canonical form: sorted, disjoint, non-touching; length preserved <= sum."""
+    union = IntervalUnion(intervals)
+    members = union.intervals
+    for earlier, later in zip(members, members[1:]):
+        assert earlier.high < later.low  # strictly disjoint after merging
+    assert union.total_length <= sum(i.length for i in intervals) + 1e-9
+    # Idempotence: re-wrapping the canonical members changes nothing.
+    assert IntervalUnion(members) == union
+
+
+@settings(max_examples=60, deadline=None)
+@given(_interval_lists(), st.floats(-150, 150, allow_nan=False))
+def test_interval_union_membership_property(intervals, probe):
+    """A point is in the union iff it is in at least one input interval."""
+    union = IntervalUnion(intervals)
+    expected = any(interval.contains(probe) for interval in intervals)
+    assert bool(union.contains(probe)) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lows=st.lists(st.floats(0, 4, allow_nan=False), min_size=2, max_size=2),
+    widths=st.lists(st.floats(0.5, 5, allow_nan=False), min_size=2, max_size=2),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_box_samples_satisfy_halfspaces_property(lows, widths, seed):
+    """Every sampled point satisfies the box's own Ax <= b system."""
+    domains = (FeatureDomain("a", 0, 10), FeatureDomain("b", 0, 10))
+    constraints = {
+        i: Interval(lows[i], min(lows[i] + widths[i], 10.0)) for i in range(2)
+    }
+    box = Box(domains, constraints)
+    draws = box.sample(20, np.random.default_rng(seed))
+    A, b = box.as_halfspaces()
+    assert np.all(draws @ A.T <= b + 1e-9)

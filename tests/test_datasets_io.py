@@ -1,0 +1,42 @@
+"""Tests for dataset persistence (save/load)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import LabeledDataset
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path, scream_data):
+        path = tmp_path / "scream.npz"
+        scream_data.save(path)
+        loaded = LabeledDataset.load(path)
+        assert np.array_equal(loaded.X, scream_data.X)
+        assert np.array_equal(loaded.y, scream_data.y)
+        assert loaded.feature_names == scream_data.feature_names
+        assert loaded.description == scream_data.description
+
+    def test_domains_roundtrip(self, tmp_path, scream_data):
+        path = tmp_path / "scream.npz"
+        scream_data.save(path)
+        loaded = LabeledDataset.load(path)
+        for original, restored in zip(scream_data.domains, loaded.domains):
+            assert restored.name == original.name
+            assert restored.low == original.low
+            assert restored.high == original.high
+            assert restored.integer == original.integer
+
+    def test_string_labels_roundtrip(self, tmp_path, firewall_data):
+        path = tmp_path / "firewall.npz"
+        firewall_data.save(path)
+        loaded = LabeledDataset.load(path)
+        assert set(np.unique(loaded.y)) == set(np.unique(firewall_data.y))
+
+    def test_loaded_dataset_usable(self, tmp_path, scream_data):
+        from repro.ml import GaussianNB
+
+        path = tmp_path / "scream.npz"
+        scream_data.save(path)
+        loaded = LabeledDataset.load(path)
+        model = GaussianNB().fit(loaded.X, loaded.y)
+        assert model.score(loaded.X, loaded.y) > 0.5

@@ -1,0 +1,252 @@
+"""Tests for the domain-customization layer."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.domain import (
+    DECREASING,
+    INCREASING,
+    DomainCustomizedAutoML,
+    DomainSpec,
+    StructuredGaussianClassifier,
+    TopologyPriorBuilder,
+)
+from repro.exceptions import ValidationError
+from repro.ml import balanced_accuracy
+
+
+class TestDomainSpec:
+    def test_valid_spec(self):
+        spec = DomainSpec(
+            feature_names=["a", "b", "c"],
+            independence_groups=[{"a", "b"}],
+            monotone={"c": INCREASING},
+        )
+        assert spec.kept_features() == ["a", "b", "c"]
+
+    def test_duplicate_feature_names_rejected(self):
+        with pytest.raises(ValidationError):
+            DomainSpec(feature_names=["a", "a"])
+
+    def test_unknown_group_member_rejected(self):
+        with pytest.raises(ValidationError):
+            DomainSpec(feature_names=["a"], independence_groups=[{"z"}])
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValidationError):
+            DomainSpec(
+                feature_names=["a", "b", "c"],
+                independence_groups=[{"a", "b"}, {"b", "c"}],
+            )
+
+    def test_invalid_monotone_direction(self):
+        with pytest.raises(ValidationError):
+            DomainSpec(feature_names=["a"], monotone={"a": 2})
+
+    def test_irrelevant_and_monotone_conflict(self):
+        with pytest.raises(ValidationError):
+            DomainSpec(feature_names=["a"], monotone={"a": 1}, irrelevant=["a"])
+
+    def test_kept_indices(self):
+        spec = DomainSpec(feature_names=["a", "b", "c"], irrelevant=["b"])
+        assert spec.kept_indices() == [0, 2]
+
+    def test_group_of_singleton_default(self):
+        spec = DomainSpec(feature_names=["a", "b"])
+        assert spec.group_of("a") == frozenset({"a"})
+
+    def test_covariance_mask(self):
+        spec = DomainSpec(
+            feature_names=["a", "b", "c", "junk"],
+            independence_groups=[{"a", "b"}],
+            irrelevant=["junk"],
+        )
+        mask = np.array(spec.covariance_mask())
+        assert mask.shape == (3, 3)
+        assert mask[0, 1] and mask[1, 0]  # a-b covary
+        assert not mask[0, 2] and not mask[2, 0]  # a-c independent
+        assert mask.diagonal().all()
+
+    def test_describe_lists_constraints(self):
+        spec = DomainSpec(feature_names=["a", "b"], monotone={"b": DECREASING}, irrelevant=["a"])
+        text = spec.describe()
+        assert "decreasing" in text and "irrelevant" in text
+
+
+class TestStructuredGaussian:
+    def _correlated_data(self, n=400, seed=0):
+        rng = np.random.default_rng(seed)
+        z = rng.normal(size=n)
+        X = np.column_stack([z + 0.1 * rng.normal(size=n), z + 0.1 * rng.normal(size=n), rng.normal(size=n)])
+        y = (z + 0.5 * X[:, 2] > 0).astype(int)
+        return X, y
+
+    def test_full_covariance_is_qda(self):
+        X, y = self._correlated_data()
+        model = StructuredGaussianClassifier().fit(X, y)
+        assert balanced_accuracy(y, model.predict(X)) > 0.9
+
+    def test_masked_covariance_zeroed(self):
+        X, y = self._correlated_data()
+        mask = np.eye(3, dtype=bool)  # fully independent = naive Bayes
+        model = StructuredGaussianClassifier(covariance_mask=mask).fit(X, y)
+        # Precisions of a diagonal covariance are diagonal.
+        for c in range(2):
+            off_diagonal = model.precisions_[c] - np.diag(np.diag(model.precisions_[c]))
+            assert np.allclose(off_diagonal, 0.0, atol=1e-8)
+
+    def test_mask_validation(self):
+        X, y = self._correlated_data(n=50)
+        asymmetric = np.eye(3, dtype=bool)
+        asymmetric[0, 1] = True
+        with pytest.raises(ValidationError, match="symmetric"):
+            StructuredGaussianClassifier(covariance_mask=asymmetric).fit(X, y)
+        no_diag = np.zeros((3, 3), dtype=bool)
+        with pytest.raises(ValidationError, match="diagonal"):
+            StructuredGaussianClassifier(covariance_mask=no_diag).fit(X, y)
+        wrong_shape = np.eye(2, dtype=bool)
+        with pytest.raises(ValidationError, match="shape"):
+            StructuredGaussianClassifier(covariance_mask=wrong_shape).fit(X, y)
+
+    def test_probabilities_valid(self):
+        X, y = self._correlated_data()
+        proba = StructuredGaussianClassifier().fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0)
+
+    def test_tiny_class_rejected(self):
+        X = np.random.default_rng(0).normal(size=(5, 2))
+        y = np.array([0, 0, 0, 0, 1])
+        with pytest.raises(ValidationError, match="fewer than 2"):
+            StructuredGaussianClassifier().fit(X, y)
+
+    def test_regularization_validated(self):
+        with pytest.raises(ValidationError):
+            StructuredGaussianClassifier(regularization=-1.0)
+
+
+class TestTopologyPriors:
+    def _builder(self):
+        graph = nx.Graph([("s1", "s2"), ("s2", "h1")])
+        graph.add_node("island")
+        return TopologyPriorBuilder(
+            graph, {"f_a": "s1", "f_b": "s2", "f_c": "island", "f_d": "h1"}
+        )
+
+    def test_connected_components_grouping(self):
+        groups = self._builder().dependence_groups()
+        as_sets = sorted(sorted(g) for g in groups)
+        assert as_sets == [["f_a", "f_b", "f_d"], ["f_c"]]
+
+    def test_radius_limits_grouping(self):
+        graph = nx.path_graph(5)  # 0-1-2-3-4
+        builder = TopologyPriorBuilder(graph, {"near": 0, "mid": 1, "far": 4})
+        groups = builder.dependence_groups(radius=1)
+        as_sets = sorted(sorted(g) for g in groups)
+        assert ["mid", "near"] in as_sets
+        assert ["far"] in as_sets
+
+    def test_same_node_always_grouped(self):
+        graph = nx.Graph()
+        graph.add_node("x")
+        builder = TopologyPriorBuilder(graph, {"a": "x", "b": "x"})
+        assert builder.dependence_groups(radius=0) == [{"a", "b"}]
+
+    def test_build_spec_integrates_extras(self):
+        spec = self._builder().build_spec(
+            ["f_a", "f_b", "f_c", "f_d"],
+            monotone={"f_c": INCREASING},
+            irrelevant=[],
+        )
+        assert spec.group_of("f_a") == frozenset({"f_a", "f_b", "f_d"})
+        assert spec.monotone == {"f_c": INCREASING}
+
+    def test_unknown_node_rejected(self):
+        graph = nx.Graph([("a", "b")])
+        with pytest.raises(ValidationError):
+            TopologyPriorBuilder(graph, {"f": "ghost"})
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValidationError):
+            TopologyPriorBuilder(nx.Graph(), {})
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValidationError):
+            self._builder().dependence_groups(radius=-1)
+
+
+class TestDomainCustomizedAutoML:
+    def _data(self, seed=0):
+        rng = np.random.default_rng(seed)
+        n = 300
+        X = rng.normal(size=(n, 3))
+        y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+        return X, y
+
+    def test_basic_fit_predict(self):
+        X, y = self._data()
+        spec = DomainSpec(feature_names=["a", "b", "noise"])
+        model = DomainCustomizedAutoML(spec, n_iterations=8, random_state=0).fit(X, y)
+        assert balanced_accuracy(y, model.predict(X)) > 0.85
+
+    def test_irrelevant_feature_dropped_but_api_full_width(self):
+        X, y = self._data()
+        spec = DomainSpec(feature_names=["a", "b", "noise"], irrelevant=["noise"])
+        model = DomainCustomizedAutoML(spec, n_iterations=8, random_state=0).fit(X, y)
+        # Predict still takes all 3 columns.
+        proba = model.predict_proba(X)
+        assert proba.shape == (X.shape[0], 2)
+        # But changing the irrelevant column must not change predictions.
+        X_mutated = X.copy()
+        X_mutated[:, 2] = 999.0
+        assert np.allclose(model.predict_proba(X_mutated), proba)
+
+    def test_monotonicity_eviction_records_reasons(self):
+        X, y = self._data()
+        # Deliberately absurd prior: label must DECREASE with feature 0,
+        # the opposite of the data. Most/all members get evicted.
+        spec = DomainSpec(feature_names=["a", "b", "c"], monotone={"a": DECREASING})
+        model = DomainCustomizedAutoML(
+            spec, n_iterations=8, monotonicity_tolerance=0.1, random_state=0
+        ).fit(X, y)
+        assert model.evicted_members_  # something was flagged
+        assert len(model.ensemble_members_) >= 1  # never empty
+
+    def test_correct_prior_keeps_members(self):
+        X, y = self._data()
+        spec = DomainSpec(feature_names=["a", "b", "c"], monotone={"a": INCREASING})
+        model = DomainCustomizedAutoML(
+            spec, n_iterations=8, monotonicity_tolerance=0.3, random_state=0
+        ).fit(X, y)
+        evicted_reasons = [reason for _, reason in model.evicted_members_]
+        assert len(model.ensemble_members_) >= 1
+        assert balanced_accuracy(y, model.predict(X)) > 0.85
+
+    def test_structured_gaussian_in_search_space(self):
+        X, y = self._data()
+        spec = DomainSpec(feature_names=["a", "b", "c"], independence_groups=[{"a", "b"}])
+        model = DomainCustomizedAutoML(spec, n_iterations=8, random_state=1)
+        names = {family.name for family in model._families()}
+        assert "structured_gaussian" in names
+
+    def test_feature_count_mismatch(self):
+        X, y = self._data()
+        spec = DomainSpec(feature_names=["a", "b"])
+        with pytest.raises(ValidationError):
+            DomainCustomizedAutoML(spec, n_iterations=4).fit(X, y)
+
+    def test_composes_with_feedback(self):
+        from repro.core import AleFeedback, FeatureDomain, within_ale_committee
+
+        X, y = self._data()
+        spec = DomainSpec(feature_names=["a", "b", "c"])
+        model = DomainCustomizedAutoML(spec, n_iterations=8, random_state=2).fit(X, y)
+        domains = [FeatureDomain(name, -4, 4) for name in spec.feature_names]
+        report = AleFeedback(grid_size=10).analyze(within_ale_committee(model), X, domains)
+        assert report.committee_size == len(model.ensemble_members_)
+
+    def test_invalid_tolerance(self):
+        spec = DomainSpec(feature_names=["a"])
+        with pytest.raises(ValidationError):
+            DomainCustomizedAutoML(spec, monotonicity_tolerance=2.0)

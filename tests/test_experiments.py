@@ -1,0 +1,237 @@
+"""Tests for the experiment harness (tiny budgets: correctness, not scale)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.feedback import AleFeedback
+from repro.datasets import generate_firewall_dataset
+from repro.exceptions import ValidationError
+from repro.experiments import (
+    STRATEGIES,
+    ExperimentRecord,
+    FigureConfig,
+    Table1Config,
+    UCLConfig,
+    format_paper_table,
+    run_figure1,
+    run_figure2,
+    run_strategy,
+    run_table1,
+    run_ucl,
+    save_record,
+    scores_to_csv,
+    sweep_thresholds,
+    sweep_to_csv,
+)
+from repro.experiments.runner import AugmentationContext
+from repro.stats import AlgorithmScores, SignificanceTable
+
+TINY_TABLE1 = Table1Config(
+    n_train=100,
+    n_test=150,
+    n_pool=120,
+    n_feedback=20,
+    n_test_sets=6,
+    n_repeats=1,
+    cross_runs=2,
+    automl_iterations=5,
+    ensemble_size=3,
+    min_distinct_members=2,
+    grid_size=10,
+    seed=99,
+)
+
+TINY_UCL = UCLConfig(
+    n_samples=900,
+    n_feedback=40,
+    n_test_sets=6,
+    n_resplits=1,
+    cross_runs=2,
+    automl_iterations=5,
+    ensemble_size=3,
+    min_distinct_members=2,
+    grid_size=10,
+    seed=98,
+)
+
+
+class TestStrategyRegistry:
+    def test_all_table1_rows_registered(self):
+        expected = {
+            "no_feedback",
+            "within_ale",
+            "cross_ale",
+            "uniform",
+            "confidence",
+            "qbc",
+            "upsampling",
+            "within_ale_pool",
+            "cross_ale_pool",
+        }
+        assert expected <= set(STRATEGIES)
+
+
+@pytest.fixture(scope="module")
+def table1_outcome():
+    return run_table1(TINY_TABLE1)
+
+
+class TestTable1:
+    def test_all_algorithms_scored(self, table1_outcome):
+        table, _ = table1_outcome
+        assert len(table.names()) == 9
+        for name in table.names():
+            scores = table.scores(name).scores
+            assert scores.shape == (TINY_TABLE1.n_repeats * TINY_TABLE1.n_test_sets,)
+            assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_paper_table_rendering(self, table1_outcome):
+        table, record = table1_outcome
+        text = record.tables["table1"]
+        assert "P(no feedback, X)" in text
+        assert "within_ale" in text
+        assert "NA" in text  # self-comparisons
+
+    def test_record_series_csv(self, table1_outcome):
+        _, record = table1_outcome
+        lines = record.series["scores"].strip().splitlines()
+        assert lines[0] == "algorithm,index,balanced_accuracy"
+        assert len(lines) == 1 + 9 * TINY_TABLE1.n_repeats * TINY_TABLE1.n_test_sets
+
+    def test_subset_of_algorithms(self):
+        table, _ = run_table1(TINY_TABLE1, algorithms=["no_feedback", "uniform"])
+        assert table.names() == ["no_feedback", "uniform"]
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValidationError):
+            run_table1(TINY_TABLE1, algorithms=["alchemy"])
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            Table1Config(n_test=5, n_test_sets=20).validate()
+        with pytest.raises(ValidationError):
+            Table1Config(cross_runs=1).validate()
+
+
+class TestUCL:
+    def test_runs_and_reports(self):
+        table, record = run_ucl(TINY_UCL, algorithms=["no_feedback", "within_ale_pool"])
+        assert set(table.names()) == {"no_feedback", "within_ale_pool"}
+        assert "ucl" in record.tables
+        scores = table.scores("within_ale_pool").scores
+        assert scores.shape == (TINY_UCL.n_resplits * TINY_UCL.n_test_sets,)
+
+    def test_oracle_strategies_rejected_gracefully(self):
+        # Strategies needing an oracle must fail with a clear error on the
+        # firewall data (no oracle exists).
+        with pytest.raises(ValidationError, match="oracle"):
+            run_ucl(TINY_UCL, algorithms=["within_ale"])
+
+
+class TestFigures:
+    def test_figure1_artifact(self):
+        config = FigureConfig(n_train=120, automl_iterations=5, ensemble_size=3, grid_size=10, seed=5)
+        artifact = run_figure1(config)
+        assert artifact.feature_name == "bandwidth_mbps"
+        assert "grid,count" in artifact.csv
+        assert "ALE of" in artifact.ascii_plot
+        record = artifact.to_record()
+        assert record.experiment_id == "figure1_link_rate_ale"
+
+    def test_figure2_artifacts(self):
+        config = FigureConfig(n_train=800, automl_iterations=5, ensemble_size=3, grid_size=10, seed=6)
+        fig2a, fig2b = run_figure2(config)
+        assert fig2a.feature_name == "src_port"
+        assert fig2b.feature_name == "dst_port"
+        assert fig2a.report is fig2b.report  # one committee, two views
+
+
+class TestThresholdSweep:
+    def test_monotone_region_shrinkage(self, fitted_automl, scream_data):
+        rows = sweep_thresholds(
+            fitted_automl.ensemble_members_,
+            scream_data.X,
+            scream_data.domains,
+            multipliers=(0.5, 1.0, 2.0),
+            grid_size=10,
+        )
+        volumes = [row.relative_volume for row in rows]
+        # The paper's claim: lower thresholds -> larger subspaces.
+        assert volumes[0] >= volumes[1] >= volumes[2]
+
+    def test_pool_hits_counted(self, fitted_automl, scream_data):
+        pool = scream_data.X[:50]
+        rows = sweep_thresholds(
+            fitted_automl.ensemble_members_,
+            scream_data.X,
+            scream_data.domains,
+            multipliers=(1.0,),
+            grid_size=10,
+            pool_X=pool,
+        )
+        assert rows[0].pool_hits is not None
+        assert 0 <= rows[0].pool_hits <= 50
+
+    def test_csv_rendering(self, fitted_automl, scream_data):
+        rows = sweep_thresholds(
+            fitted_automl.ensemble_members_,
+            scream_data.X,
+            scream_data.domains,
+            multipliers=(1.0, 2.0),
+            grid_size=10,
+        )
+        csv_text = sweep_to_csv(rows)
+        assert csv_text.startswith("multiplier,threshold")
+        assert len(csv_text.strip().splitlines()) == 3
+
+    def test_invalid_multipliers(self, fitted_automl, scream_data):
+        with pytest.raises(ValidationError):
+            sweep_thresholds(
+                fitted_automl.ensemble_members_,
+                scream_data.X,
+                scream_data.domains,
+                multipliers=(),
+            )
+        with pytest.raises(ValidationError):
+            sweep_thresholds(
+                fitted_automl.ensemble_members_,
+                scream_data.X,
+                scream_data.domains,
+                multipliers=(-1.0,),
+            )
+
+
+class TestRecords:
+    def test_json_roundtrip(self, tmp_path):
+        record = ExperimentRecord(
+            experiment_id="unit",
+            metadata={"n": np.int64(5), "f": np.float64(0.5)},
+            tables={"t": "text"},
+            series={"s": "a,b\n1,2\n"},
+        )
+        path = save_record(record, tmp_path)
+        loaded = json.loads(path.read_text())
+        assert loaded["metadata"]["n"] == 5
+        assert (tmp_path / "unit_s.csv").read_text() == "a,b\n1,2\n"
+
+    def test_scores_to_csv(self):
+        table = SignificanceTable([AlgorithmScores("a", np.array([0.5, 0.6]))])
+        text = scores_to_csv(table)
+        assert "a,0,0.500000" in text
+
+    def test_unknown_strategy_in_runner(self, fitted_automl, scream_data):
+        ctx = AugmentationContext(
+            train=scream_data,
+            pool=scream_data,
+            oracle=None,
+            initial_automl=fitted_automl,
+            automl_factory=lambda rng: fitted_automl,
+            n_feedback=5,
+            feedback=AleFeedback(grid_size=8),
+            cross_runs=2,
+            rng=np.random.default_rng(0),
+        )
+        with pytest.raises(ValidationError):
+            run_strategy("teleport", ctx, [scream_data])

@@ -1,0 +1,84 @@
+"""Tests for the paper-comparison module."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments import (
+    PAPER_TABLE1,
+    TABLE1_CLAIMS,
+    ShapeClaim,
+    compare_to_paper,
+    format_comparison,
+)
+from repro.stats import AlgorithmScores, SignificanceTable
+
+
+def _table_from_means(means: dict, *, spread: float = 0.01, n: int = 40) -> SignificanceTable:
+    rng = np.random.default_rng(0)
+    base = rng.normal(0.0, spread, size=n)
+    return SignificanceTable(
+        [AlgorithmScores(name, base + mean) for name, mean in means.items()]
+    )
+
+
+def _paper_like_means() -> dict:
+    return {row.algorithm: row.mean / 100.0 for row in PAPER_TABLE1.values()}
+
+
+class TestPaperConstants:
+    def test_all_nine_rows_present(self):
+        assert len(PAPER_TABLE1) == 9
+        assert PAPER_TABLE1["upsampling"].mean == 76.7
+        assert PAPER_TABLE1["cross_ale"].p_vs_no_feedback == pytest.approx(3.33e-6)
+
+    def test_baseline_has_no_self_pvalue(self):
+        assert PAPER_TABLE1["no_feedback"].p_vs_no_feedback is None
+
+
+class TestClaims:
+    def test_papers_own_numbers_satisfy_all_claims(self):
+        """Sanity: a table shaped exactly like the paper passes every claim."""
+        table = _table_from_means(_paper_like_means())
+        results = compare_to_paper(table)
+        assert results, "no claims evaluated"
+        failing = [claim_id for claim_id, held in results.items() if not held]
+        assert not failing, failing
+
+    def test_flat_table_fails_direction_claims(self):
+        table = _table_from_means({name: 0.7 for name in _paper_like_means()})
+        results = compare_to_paper(table)
+        assert not results["ale_beats_baseline_within"]
+        assert results["pool_no_better_than_free"]  # 'within' claims still hold
+
+    def test_missing_algorithms_skipped(self):
+        table = _table_from_means({"no_feedback": 0.70, "within_ale": 0.75})
+        results = compare_to_paper(table)
+        assert "ale_beats_baseline_within" in results
+        assert "ale_beats_uniform" not in results
+
+    def test_claim_kinds(self):
+        table = _table_from_means({"a": 0.70, "b": 0.75})
+        assert ShapeClaim("x", "", "better", "b", "a").holds(table)
+        assert not ShapeClaim("x", "", "better", "a", "b").holds(table)
+        assert ShapeClaim("x", "", "significant", "b", "a").holds(table)
+        assert ShapeClaim("x", "", "within", "a", "b", margin=0.06).holds(table)
+        assert not ShapeClaim("x", "", "within", "a", "b", margin=0.01).holds(table)
+
+    def test_unknown_kind_rejected(self):
+        table = _table_from_means({"a": 0.7, "b": 0.8})
+        with pytest.raises(ValidationError):
+            ShapeClaim("x", "", "vibes", "a", "b").holds(table)
+
+    def test_unknown_algorithm_rejected(self):
+        table = _table_from_means({"a": 0.7})
+        with pytest.raises(ValidationError):
+            ShapeClaim("x", "", "better", "a", "ghost").holds(table)
+
+
+class TestFormatting:
+    def test_verdict_sheet(self):
+        table = _table_from_means(_paper_like_means())
+        text = format_comparison(table)
+        assert "✓" in text
+        assert "Within-ALE significantly beats" in text

@@ -1,0 +1,106 @@
+"""Focused tests for the individual Table-1 augmentation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.automl import AutoMLClassifier
+from repro.core.feedback import AleFeedback
+from repro.datasets import ScreamOracle
+from repro.exceptions import ValidationError
+from repro.experiments.runner import AugmentationContext, STRATEGIES
+
+
+@pytest.fixture
+def ctx(scream_data, fitted_automl):
+    train = scream_data.subset(np.arange(100))
+    pool = scream_data.subset(np.arange(100, 160))
+    oracle = ScreamOracle(random_state=0)
+    return AugmentationContext(
+        train=train,
+        pool=pool,
+        oracle=oracle.label,
+        initial_automl=fitted_automl,
+        automl_factory=lambda rng: AutoMLClassifier(
+            n_iterations=5, ensemble_size=3, min_distinct_members=2, random_state=rng
+        ),
+        n_feedback=12,
+        feedback=AleFeedback(grid_size=10),
+        cross_runs=2,
+        rng=np.random.default_rng(42),
+    )
+
+
+class TestOracleStrategies:
+    def test_within_ale_adds_requested_points(self, ctx):
+        result = STRATEGIES["within_ale"](ctx)
+        assert result.points_added == 12
+        assert result.train.n_samples == ctx.train.n_samples + 12
+        assert "T=" in result.detail
+
+    def test_within_ale_new_points_in_domain(self, ctx):
+        result = STRATEGIES["within_ale"](ctx)
+        added = result.train.X[ctx.train.n_samples :]
+        for column, domain in zip(added.T, ctx.train.domains):
+            assert column.min() >= domain.low - 1e-9
+            assert column.max() <= domain.high + 1e-9
+
+    def test_cross_ale_runs_extra_automl(self, ctx):
+        result = STRATEGIES["cross_ale"](ctx)
+        assert result.points_added == 12
+        assert "2 runs" in result.detail
+
+    def test_uniform_labels_via_oracle(self, ctx):
+        result = STRATEGIES["uniform"](ctx)
+        added_labels = result.train.y[ctx.train.n_samples :]
+        assert set(np.unique(added_labels)) <= {0, 1}
+
+    def test_threshold_scale_fallback_keeps_strategy_alive(self, ctx):
+        # An absurdly scaled threshold flags nothing; the strategy must
+        # fall back to the median heuristic rather than raising.
+        ctx.feedback = AleFeedback(grid_size=10, threshold_scale=1e9)
+        result = STRATEGIES["within_ale"](ctx)
+        assert result.points_added == 12
+
+
+class TestPoolStrategies:
+    def test_confidence_takes_labels_from_pool(self, ctx):
+        result = STRATEGIES["confidence"](ctx)
+        assert result.points_added == 12
+        added = result.train.X[ctx.train.n_samples :]
+        pool_rows = {tuple(row) for row in ctx.pool.X}
+        assert all(tuple(row) in pool_rows for row in added)
+
+    def test_qbc_takes_labels_from_pool(self, ctx):
+        result = STRATEGIES["qbc"](ctx)
+        added = result.train.X[ctx.train.n_samples :]
+        pool_rows = {tuple(row) for row in ctx.pool.X}
+        assert all(tuple(row) in pool_rows for row in added)
+
+    def test_within_ale_pool_capped_by_region_hits(self, ctx):
+        result = STRATEGIES["within_ale_pool"](ctx)
+        assert 0 <= result.points_added <= 12
+        assert "pool points" in result.detail
+
+    def test_pool_strategies_work_without_oracle(self, ctx):
+        ctx.oracle = None
+        for name in ("confidence", "qbc", "within_ale_pool", "cross_ale_pool", "upsampling", "no_feedback"):
+            result = STRATEGIES[name](ctx)
+            assert result.train.n_samples >= ctx.train.n_samples
+
+    def test_oracle_strategies_fail_cleanly_without_oracle(self, ctx):
+        ctx.oracle = None
+        for name in ("within_ale", "cross_ale", "uniform"):
+            with pytest.raises(ValidationError, match="oracle"):
+                STRATEGIES[name](ctx)
+
+
+class TestUpsampling:
+    def test_balances_classes(self, ctx):
+        result = STRATEGIES["upsampling"](ctx)
+        labels, counts = np.unique(result.train.y, return_counts=True)
+        assert counts.min() == counts.max()
+
+    def test_no_feedback_untouched(self, ctx):
+        result = STRATEGIES["no_feedback"](ctx)
+        assert result.train is ctx.train
+        assert result.points_added == 0

@@ -1,0 +1,102 @@
+"""Failure-injection tests: degraded components must fail loudly or heal.
+
+The AutoML search tolerates individual candidate crashes (as AutoSklearn
+does); everything else in the stack must raise a :class:`ReproError`
+subclass with an actionable message rather than produce silent garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.automl import AutoMLClassifier, ModelFamily, RandomSearch
+from repro.automl.spaces import FloatRange, default_model_families
+from repro.exceptions import ReproError, SearchBudgetError, ValidationError
+from repro.ml import GaussianNB
+
+
+class _AlwaysCrashes:
+    """An estimator whose fit always raises a library error."""
+
+    def __init__(self, **kwargs):
+        pass
+
+    def fit(self, X, y):
+        raise ValidationError("injected failure")
+
+    def predict(self, X):
+        raise ValidationError("unreachable")
+
+    def predict_proba(self, X):
+        raise ValidationError("unreachable")
+
+    def get_params(self):
+        return {}
+
+
+def _crashing_family() -> ModelFamily:
+    return ModelFamily("crasher", _AlwaysCrashes, {"x": FloatRange(0.0, 1.0)}, stochastic=False)
+
+
+class TestSearchFailureTolerance:
+    def test_search_survives_crashing_candidates(self, blobs_2class):
+        X, y = blobs_2class
+        families = default_model_families() + [_crashing_family()]
+        result = RandomSearch(n_iterations=20, families=families, random_state=0).run(X, y)
+        assert result.evaluated  # the healthy families produced results
+        crash_failures = [c for c, message in result.failures if c.family == "crasher"]
+        assert len(crash_failures) >= 1
+        assert all("injected failure" in message for c, message in result.failures if c.family == "crasher")
+
+    def test_search_with_only_crashing_family_raises(self, blobs_2class):
+        X, y = blobs_2class
+        with pytest.raises(SearchBudgetError, match="failed"):
+            RandomSearch(n_iterations=5, families=[_crashing_family()], random_state=0).run(X, y)
+
+    def test_automl_propagates_total_failure(self, blobs_2class):
+        X, y = blobs_2class
+        automl = AutoMLClassifier(n_iterations=3, families=[_crashing_family()], random_state=0)
+        with pytest.raises(SearchBudgetError):
+            automl.fit(X, y)
+
+    def test_unexpected_exceptions_not_swallowed(self, blobs_2class):
+        """Only ReproError is treated as a candidate failure; genuine bugs
+        (e.g. TypeError) must escape the search loop."""
+
+        class _Buggy(_AlwaysCrashes):
+            def fit(self, X, y):
+                raise TypeError("a real bug")
+
+        family = ModelFamily("buggy", _Buggy, {"x": FloatRange(0.0, 1.0)}, stochastic=False)
+        X, y = blobs_2class
+        with pytest.raises(TypeError, match="a real bug"):
+            RandomSearch(n_iterations=3, families=[family], random_state=0).run(X, y)
+
+
+class TestDataFailures:
+    def test_automl_rejects_nan_features(self):
+        X = np.array([[1.0, np.nan], [2.0, 3.0], [1.5, 2.0], [0.5, 1.0]])
+        y = np.array([0, 1, 0, 1])
+        with pytest.raises(ValidationError, match="NaN"):
+            AutoMLClassifier(n_iterations=2).fit(X, y)
+
+    def test_automl_rejects_single_class(self):
+        X = np.random.default_rng(0).normal(size=(20, 2))
+        y = np.zeros(20, dtype=int)
+        with pytest.raises(ReproError):
+            AutoMLClassifier(n_iterations=2, random_state=0).fit(X, y)
+
+    def test_model_rejects_wrong_width_at_predict(self, blobs_2class):
+        X, y = blobs_2class
+        model = GaussianNB().fit(X, y)
+        with pytest.raises(ValidationError, match="features"):
+            model.predict(np.zeros((3, 9)))
+
+
+class TestEmulatorFailures:
+    def test_divergent_scenario_guard(self):
+        from repro.netsim import NetworkScenario, run_packet_scenario
+        from repro.exceptions import EmulationError
+
+        scenario = NetworkScenario(bandwidth_mbps=100.0, rtt_ms=5.0, loss_rate=0.0, n_flows=8)
+        with pytest.raises(EmulationError, match="events"):
+            run_packet_scenario(scenario, "cubic", duration=5.0, max_events=500, random_state=0)

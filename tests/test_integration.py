@@ -1,0 +1,97 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.automl import AutoMLClassifier
+from repro.core import AleFeedback, explain_report, within_ale_committee
+from repro.datasets import ScreamOracle, generate_firewall_dataset, split_train_test_pool
+from repro.ml import balanced_accuracy
+
+
+class TestScreamFeedbackLoop:
+    """The paper's primary loop: train -> feedback -> collect -> retrain."""
+
+    def test_full_loop_runs_and_improves_on_average_region(self, scream_data):
+        train = scream_data.subset(np.arange(120))
+        automl = AutoMLClassifier(
+            n_iterations=8, ensemble_size=4, min_distinct_members=3, random_state=0
+        ).fit(train.X, train.y)
+
+        report = AleFeedback(grid_size=12).analyze(
+            within_ale_committee(automl), train.X, train.domains
+        )
+        assert report.region, "median-threshold feedback should flag something"
+
+        suggested = report.suggest(25, random_state=1)
+        oracle = ScreamOracle(random_state=2)
+        labels = oracle.label(suggested)
+        assert set(np.unique(labels)) <= {0, 1}
+
+        augmented = train.extended(suggested, labels)
+        retrained = AutoMLClassifier(
+            n_iterations=8, ensemble_size=4, min_distinct_members=3, random_state=3
+        ).fit(augmented.X, augmented.y)
+
+        holdout = scream_data.subset(np.arange(120, scream_data.n_samples))
+        score = balanced_accuracy(holdout.y, retrained.predict(holdout.X))
+        assert score > 0.5  # sanity: not degenerate
+
+    def test_explanation_pipeline_text(self, fitted_automl, scream_data):
+        report = AleFeedback(grid_size=12).analyze(
+            within_ale_committee(fitted_automl), scream_data.X, scream_data.domains
+        )
+        text = explain_report(report)
+        for feature in scream_data.feature_names:
+            assert feature in text
+
+    def test_halfspace_output_machine_checkable(self, fitted_automl, scream_data):
+        report = AleFeedback(grid_size=12).analyze(
+            within_ale_committee(fitted_automl), scream_data.X, scream_data.domains
+        )
+        if not report.region:
+            pytest.skip("no region at median threshold for this committee")
+        points = report.suggest(30, random_state=0)
+        satisfied = np.zeros(points.shape[0], dtype=bool)
+        for A, b in report.region.as_halfspaces():
+            satisfied |= np.all(points @ A.T <= b + 1e-9, axis=1)
+        assert satisfied.all()
+
+
+class TestFirewallPoolLoop:
+    """The §4.2 loop: feedback restricted to a fixed pool of logged data."""
+
+    def test_pool_loop(self, firewall_data):
+        bundle = split_train_test_pool(firewall_data, n_test_sets=5, random_state=0)
+        automl = AutoMLClassifier(
+            n_iterations=6, ensemble_size=3, min_distinct_members=3, random_state=1
+        ).fit(bundle.train.X, bundle.train.y)
+
+        report = AleFeedback(grid_size=12).analyze(
+            within_ale_committee(automl), bundle.train.X, bundle.train.domains
+        )
+        picks = report.filter_pool(bundle.pool.X, max_points=60, random_state=2)
+        augmented = bundle.train.extended(bundle.pool.X[picks], bundle.pool.y[picks])
+        assert augmented.n_samples == bundle.train.n_samples + picks.size
+
+        retrained = AutoMLClassifier(
+            n_iterations=6, ensemble_size=3, min_distinct_members=3, random_state=3
+        ).fit(augmented.X, augmented.y)
+        scores = [balanced_accuracy(t.y, retrained.predict(t.X)) for t in bundle.test_sets]
+        assert all(0.0 <= s <= 1.0 for s in scores)
+
+    def test_operator_veto_workflow(self, firewall_data):
+        """restrict_to() after inspecting explanations (the §4.2 story)."""
+        bundle = split_train_test_pool(firewall_data, n_test_sets=5, random_state=4)
+        automl = AutoMLClassifier(
+            n_iterations=6, ensemble_size=3, min_distinct_members=3, random_state=5
+        ).fit(bundle.train.X, bundle.train.y)
+        report = AleFeedback(grid_size=12).analyze(
+            within_ale_committee(automl), bundle.train.X, bundle.train.domains
+        )
+        kept = [name for name in firewall_data.feature_names if name != "src_port"]
+        restricted = report.restrict_to(kept)
+        assert len(restricted.region) <= len(report.region)
+        full_picks = report.filter_pool(bundle.pool.X)
+        restricted_picks = restricted.filter_pool(bundle.pool.X)
+        assert set(restricted_picks.tolist()) <= set(full_picks.tolist()) or not report.region

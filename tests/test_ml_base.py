@@ -1,0 +1,132 @@
+"""Tests for the estimator protocol in repro.ml.base."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    check_array,
+    check_is_fitted,
+    check_X_y,
+    clone,
+)
+
+
+class _Toy(BaseEstimator):
+    def __init__(self, *, alpha: float = 1.0, mode: str = "fast"):
+        self.alpha = alpha
+        self.mode = mode
+
+
+class TestCheckArray:
+    def test_accepts_lists(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert out.dtype == np.float64 and out.shape == (2, 2)
+
+    def test_rejects_1d_by_default(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            check_array([1.0, 2.0])
+
+    def test_allow_1d_promotes_to_column(self):
+        assert check_array([1.0, 2.0], allow_1d=True).shape == (2, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="no samples"):
+            check_array(np.zeros((0, 3)))
+        with pytest.raises(ValidationError, match="no features"):
+            check_array(np.zeros((3, 0)))
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_array([[1.0, np.nan]])
+        with pytest.raises(ValidationError, match="NaN"):
+            check_array([[np.inf, 1.0]])
+
+
+class TestCheckXy:
+    def test_matching_lengths(self):
+        X, y = check_X_y([[1.0], [2.0]], [0, 1])
+        assert X.shape == (2, 1) and y.shape == (2,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError, match="disagree"):
+            check_X_y([[1.0], [2.0]], [0, 1, 2])
+
+    def test_2d_y_rejected(self):
+        with pytest.raises(ValidationError):
+            check_X_y([[1.0], [2.0]], [[0], [1]])
+
+
+class TestParams:
+    def test_get_params(self):
+        assert _Toy(alpha=2.5).get_params() == {"alpha": 2.5, "mode": "fast"}
+
+    def test_set_params_roundtrip(self):
+        toy = _Toy().set_params(alpha=9.0, mode="slow")
+        assert toy.alpha == 9.0 and toy.mode == "slow"
+
+    def test_set_unknown_param_rejected(self):
+        with pytest.raises(ValidationError, match="invalid parameter"):
+            _Toy().set_params(beta=1)
+
+    def test_clone_copies_params_not_state(self):
+        toy = _Toy(alpha=3.0)
+        toy.fitted_junk_ = 123
+        copy = clone(toy)
+        assert copy.alpha == 3.0
+        assert not hasattr(copy, "fitted_junk_")
+
+    def test_repr_contains_params(self):
+        assert "alpha=1.0" in repr(_Toy())
+
+    def test_parameterless_estimator(self):
+        class Bare(BaseEstimator):
+            pass
+
+        assert Bare().get_params() == {}
+        assert isinstance(clone(Bare()), Bare)
+
+
+class TestCheckIsFitted:
+    def test_raises_before_fit(self):
+        with pytest.raises(NotFittedError):
+            check_is_fitted(_Toy(), "coef_")
+
+    def test_passes_after_attribute_set(self):
+        toy = _Toy()
+        toy.coef_ = np.ones(3)
+        check_is_fitted(toy, "coef_")  # no raise
+
+
+class TestClassifierMixin:
+    class _Const(BaseEstimator, ClassifierMixin):
+        """Predicts class proportions of the training labels."""
+
+        def fit(self, X, y):
+            encoded = self._encode_labels(np.asarray(y))
+            self._proba = np.bincount(encoded) / encoded.size
+            return self
+
+        def predict_proba(self, X):
+            return np.tile(self._proba, (np.asarray(X).shape[0], 1))
+
+    def test_label_encoding_and_decoding(self):
+        model = self._Const().fit([[0.0]] * 4, ["cat", "dog", "dog", "dog"])
+        assert list(model.classes_) == ["cat", "dog"]
+        assert model.n_classes_ == 2
+        assert model.predict([[0.0], [1.0]]).tolist() == ["dog", "dog"]
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValidationError, match="2 distinct classes"):
+            self._Const().fit([[0.0]] * 3, ["same"] * 3)
+
+    def test_score_is_accuracy(self):
+        model = self._Const().fit([[0.0]] * 4, [0, 1, 1, 1])
+        assert model.score([[0.0]] * 4, [1, 1, 1, 1]) == 1.0
+        assert model.score([[0.0]] * 4, [0, 0, 1, 1]) == 0.5

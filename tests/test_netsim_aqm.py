@@ -1,0 +1,122 @@
+"""Tests for the AQM queue disciplines."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmulationError
+from repro.netsim import RED, CoDel, DropTail, NetworkScenario, make_discipline, run_packet_scenario
+from repro.netsim.packet import Packet
+
+
+class TestDropTail:
+    def test_admits_below_capacity(self):
+        discipline = DropTail()
+        assert discipline.admit(queue_length=4, capacity=5, now=0.0)
+        assert not discipline.admit(queue_length=5, capacity=5, now=0.0)
+
+    def test_always_delivers(self):
+        assert DropTail().deliver(Packet(flow_id=0, sequence=0), now=1.0, rate_pps=100.0)
+
+
+class TestRED:
+    def test_no_drops_when_queue_small(self):
+        red = RED(rng=np.random.default_rng(0))
+        outcomes = [red.admit(queue_length=1, capacity=100, now=0.0) for _ in range(200)]
+        assert all(outcomes)
+
+    def test_probabilistic_drops_in_band(self):
+        red = RED(min_threshold=0.2, max_threshold=0.8, max_probability=0.5, weight=1.0,
+                  rng=np.random.default_rng(1))
+        outcomes = [red.admit(queue_length=50, capacity=100, now=0.0) for _ in range(500)]
+        drop_rate = 1.0 - np.mean(outcomes)
+        assert 0.05 < drop_rate < 0.9
+
+    def test_full_queue_always_dropped(self):
+        red = RED(weight=1.0, rng=np.random.default_rng(2))
+        assert not red.admit(queue_length=100, capacity=100, now=0.0)
+
+    def test_above_max_threshold_dropped(self):
+        red = RED(min_threshold=0.1, max_threshold=0.5, weight=1.0, rng=np.random.default_rng(3))
+        assert not red.admit(queue_length=80, capacity=100, now=0.0)
+
+    def test_ewma_smooths_transients(self):
+        red = RED(min_threshold=0.2, max_threshold=0.5, weight=0.01, rng=np.random.default_rng(4))
+        # One instant spike does not push the slow EWMA over the threshold.
+        assert red.admit(queue_length=90, capacity=100, now=0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(EmulationError):
+            RED(min_threshold=0.8, max_threshold=0.2)
+        with pytest.raises(EmulationError):
+            RED(max_probability=0.0)
+        with pytest.raises(EmulationError):
+            RED(weight=0.0)
+
+
+class TestCoDel:
+    def test_short_sojourn_always_delivered(self):
+        codel = CoDel(target=0.01, interval=0.1)
+        packet = Packet(flow_id=0, sequence=0)
+        packet.enqueue_time = 0.0
+        assert codel.deliver(packet, now=0.005, rate_pps=100.0)
+
+    def test_sustained_delay_triggers_drops(self):
+        codel = CoDel(target=0.005, interval=0.05)
+        drops = 0
+        now = 0.0
+        for seq in range(200):
+            packet = Packet(flow_id=0, sequence=seq)
+            packet.enqueue_time = now - 0.05  # 50ms sojourn, way over target
+            if not codel.deliver(packet, now=now, rate_pps=1000.0):
+                drops += 1
+            now += 0.002
+        assert drops > 0
+
+    def test_recovers_when_delay_falls(self):
+        codel = CoDel(target=0.005, interval=0.02)
+        now = 0.0
+        for seq in range(100):  # drive into dropping state
+            packet = Packet(flow_id=0, sequence=seq)
+            packet.enqueue_time = now - 0.05
+            codel.deliver(packet, now=now, rate_pps=1000.0)
+            now += 0.002
+        good = Packet(flow_id=0, sequence=999)
+        good.enqueue_time = now - 0.001  # 1ms sojourn: below target
+        assert codel.deliver(good, now=now, rate_pps=1000.0)
+        assert not codel._dropping
+
+    def test_parameter_validation(self):
+        with pytest.raises(EmulationError):
+            CoDel(target=0.0)
+        with pytest.raises(EmulationError):
+            CoDel(interval=-1.0)
+
+
+class TestFactoryAndIntegration:
+    def test_make_discipline(self):
+        assert isinstance(make_discipline("droptail"), DropTail)
+        assert isinstance(make_discipline("red"), RED)
+        assert isinstance(make_discipline("codel", target=0.01), CoDel)
+        with pytest.raises(EmulationError):
+            make_discipline("fq_pie")
+
+    def test_codel_tames_reno_latency(self):
+        scenario = NetworkScenario(bandwidth_mbps=20, rtt_ms=40, loss_rate=0.0, queue_bdp=4.0)
+        droptail = run_packet_scenario(scenario, "reno", duration=4.0, random_state=0)
+        codel = run_packet_scenario(
+            scenario, "reno", duration=4.0, discipline=CoDel(), random_state=0
+        )
+        assert codel.p95_delay_ms < 0.6 * droptail.p95_delay_ms
+        assert codel.throughput_mbps > 0.7 * droptail.throughput_mbps
+
+    def test_red_keeps_queue_below_droptail(self):
+        # Two flows so the queue actually builds past RED's min threshold.
+        scenario = NetworkScenario(
+            bandwidth_mbps=20, rtt_ms=40, loss_rate=0.0, n_flows=2, queue_bdp=4.0
+        )
+        droptail = run_packet_scenario(scenario, "reno", duration=5.0, random_state=0)
+        red = run_packet_scenario(
+            scenario, "reno", duration=5.0,
+            discipline=RED(rng=np.random.default_rng(0)), random_state=0,
+        )
+        assert red.p95_delay_ms < droptail.p95_delay_ms

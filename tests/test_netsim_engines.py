@@ -1,0 +1,129 @@
+"""Tests for the two simulation engines and their qualitative agreement.
+
+The fluid engine is the dataset generator; the packet engine is the
+reference.  The agreement tests pin down the *orderings* the Scream-vs-rest
+labels depend on, not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmulationError
+from repro.netsim import (
+    FluidTrace,
+    NetworkScenario,
+    run_fluid_scenario,
+    run_packet_scenario,
+)
+
+CLEAN = NetworkScenario(bandwidth_mbps=20, rtt_ms=40, loss_rate=0.0, n_flows=2)
+LOSSY = NetworkScenario(bandwidth_mbps=10, rtt_ms=80, loss_rate=0.03, n_flows=1)
+
+
+class TestPacketEngine:
+    def test_reno_fills_the_buffer(self):
+        metrics = run_packet_scenario(CLEAN, "reno", duration=4.0, random_state=0)
+        # Loss-based: p95 one-way delay approaches base/2 + full queue (2 BDP).
+        assert metrics.p95_delay_ms > 60.0
+        assert metrics.throughput_mbps > 0.85 * CLEAN.bandwidth_mbps
+
+    def test_vegas_keeps_queue_short(self):
+        metrics = run_packet_scenario(CLEAN, "vegas", duration=4.0, random_state=0)
+        assert metrics.p95_delay_ms < 40.0
+
+    def test_scream_between_vegas_and_reno(self):
+        scream = run_packet_scenario(CLEAN, "scream", duration=4.0, random_state=0)
+        vegas = run_packet_scenario(CLEAN, "vegas", duration=4.0, random_state=0)
+        reno = run_packet_scenario(CLEAN, "reno", duration=4.0, random_state=0)
+        assert vegas.p95_delay_ms <= scream.p95_delay_ms <= reno.p95_delay_ms
+
+    def test_scream_survives_loss_better_than_reno(self):
+        scream = run_packet_scenario(LOSSY, "scream", duration=5.0, random_state=0)
+        reno = run_packet_scenario(LOSSY, "reno", duration=5.0, random_state=0)
+        assert scream.throughput_mbps > 2.0 * reno.throughput_mbps
+
+    def test_measured_loss_close_to_configured(self):
+        metrics = run_packet_scenario(LOSSY, "vegas", duration=5.0, random_state=1)
+        assert metrics.loss_fraction == pytest.approx(LOSSY.loss_rate, abs=0.02)
+
+    def test_duration_must_exceed_warmup(self):
+        with pytest.raises(EmulationError):
+            run_packet_scenario(CLEAN, "reno", duration=0.5, warmup=1.0)
+
+    def test_reproducible(self):
+        a = run_packet_scenario(CLEAN, "cubic", duration=3.0, random_state=5)
+        b = run_packet_scenario(CLEAN, "cubic", duration=3.0, random_state=5)
+        assert a.p95_delay_ms == b.p95_delay_ms
+        assert a.throughput_mbps == b.throughput_mbps
+
+
+class TestFluidEngine:
+    def test_utilization_bounded(self):
+        metrics = run_fluid_scenario(CLEAN, "cubic", random_state=0)
+        assert 0.0 < metrics.utilization <= 1.0
+
+    def test_trace_records_queue_dynamics(self):
+        trace = FluidTrace()
+        run_fluid_scenario(CLEAN, "reno", random_state=0, trace=trace)
+        times, queue, rate = trace.as_arrays()
+        assert times.size == queue.size == rate.size > 100
+        assert queue.max() > 0  # reno builds a queue
+        assert queue.min() >= 0.0
+        assert queue.max() <= CLEAN.queue_capacity_packets + 1e-9
+
+    def test_delay_floor_is_half_rtt(self):
+        metrics = run_fluid_scenario(CLEAN, "vegas", random_state=0)
+        assert metrics.avg_delay_ms >= CLEAN.rtt_ms / 2.0 - 1e-9
+
+    def test_explicit_duration(self):
+        metrics = run_fluid_scenario(CLEAN, "reno", duration=3.0, random_state=0)
+        assert metrics.duration == 3.0
+
+    def test_reproducible(self):
+        a = run_fluid_scenario(CLEAN, "scream", random_state=9)
+        b = run_fluid_scenario(CLEAN, "scream", random_state=9)
+        assert a.p95_delay_ms == b.p95_delay_ms
+
+
+class TestEngineAgreement:
+    """The orderings the labels rely on must hold in BOTH engines."""
+
+    @pytest.mark.parametrize("engine", ["packet", "fluid"])
+    def test_delay_ordering_clean_network(self, engine):
+        run = run_packet_scenario if engine == "packet" else run_fluid_scenario
+        kwargs = {"duration": 4.0} if engine == "packet" else {}
+        results = {
+            protocol: run(CLEAN, protocol, random_state=0, **kwargs)
+            for protocol in ("vegas", "scream", "reno")
+        }
+        assert results["vegas"].p95_delay_ms <= results["scream"].p95_delay_ms
+        assert results["scream"].p95_delay_ms <= results["reno"].p95_delay_ms
+
+    @pytest.mark.parametrize("engine", ["packet", "fluid"])
+    def test_loss_collapses_loss_based_protocols(self, engine):
+        run = run_packet_scenario if engine == "packet" else run_fluid_scenario
+        kwargs = {"duration": 5.0} if engine == "packet" else {}
+        scream = run(LOSSY, "scream", random_state=0, **kwargs)
+        reno = run(LOSSY, "reno", random_state=0, **kwargs)
+        assert scream.throughput_mbps > reno.throughput_mbps
+
+    def test_throughput_within_factor_between_engines(self):
+        for protocol in ("reno", "cubic", "vegas", "scream"):
+            packet = run_packet_scenario(CLEAN, protocol, duration=4.0, random_state=0)
+            fluid = run_fluid_scenario(CLEAN, protocol, random_state=0)
+            ratio = packet.throughput_mbps / max(fluid.throughput_mbps, 1e-9)
+            assert 0.5 < ratio < 2.0, f"{protocol}: packet={packet.throughput_mbps}, fluid={fluid.throughput_mbps}"
+
+
+class TestLatencyScore:
+    def test_starving_protocol_disqualified(self):
+        metrics = run_packet_scenario(LOSSY, "reno", duration=5.0, random_state=0)
+        # Reno under 3% loss delivers ~1 Mbps of a 10 Mbps link: below a
+        # 15% useful-share bar, so it cannot "win on latency".
+        assert metrics.latency_score(min_share=0.15) == float("inf")
+        # The default bar is more permissive but still a finite threshold.
+        assert metrics.latency_score(min_share=0.02) < float("inf")
+
+    def test_healthy_protocol_scores_p95(self):
+        metrics = run_packet_scenario(CLEAN, "vegas", duration=4.0, random_state=0)
+        assert metrics.latency_score() == metrics.p95_delay_ms

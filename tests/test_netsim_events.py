@@ -1,0 +1,88 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.exceptions import EmulationError
+from repro.netsim.events import Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.run(10.0)
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(1.0, lambda: log.append(2))
+        sim.run(2.0)
+        assert log == [1, 2]
+
+    def test_now_advances_to_horizon(self):
+        sim = Simulator()
+        sim.run(5.0)
+        assert sim.now == 5.0
+
+    def test_events_beyond_horizon_not_run(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(7.0, lambda: log.append("late"))
+        sim.run(5.0)
+        assert log == []
+        assert sim.pending == 1
+        sim.run(8.0)
+        assert log == ["late"]
+
+    def test_callbacks_can_schedule_more(self):
+        sim = Simulator()
+        log = []
+
+        def recurring():
+            log.append(sim.now)
+            if sim.now < 3.0:
+                sim.schedule(1.0, recurring)
+
+        sim.schedule(1.0, recurring)
+        sim.run(10.0)
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: sim.schedule_at(5.0, lambda: log.append(sim.now)))
+        sim.run(6.0)
+        assert log == [5.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(EmulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_run_backwards_rejected(self):
+        sim = Simulator()
+        sim.run(5.0)
+        with pytest.raises(EmulationError):
+            sim.run(1.0)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def storm():
+            sim.schedule(0.0, storm)
+
+        sim.schedule(0.0, storm)
+        with pytest.raises(EmulationError, match="exceeded"):
+            sim.run(1.0, max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(0.5, lambda: None)
+        sim.run(1.0)
+        assert sim.events_processed == 5

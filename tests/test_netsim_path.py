@@ -1,0 +1,74 @@
+"""Tests for multi-hop network paths."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmulationError
+from repro.netsim import BottleneckLink, NetworkPath, Packet, Sender, Simulator
+from repro.netsim.cc import Reno
+
+
+def _link(sim, rate_pps=100.0, delay=0.01, capacity=50):
+    return BottleneckLink(
+        sim, rate_pps=rate_pps, one_way_delay=delay, queue_capacity=capacity,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestNetworkPath:
+    def test_end_to_end_delay_sums_hops(self):
+        sim = Simulator()
+        path = NetworkPath([_link(sim, delay=0.01), _link(sim, delay=0.02)])
+        arrivals = []
+        path.send(Packet(flow_id=0, sequence=0, send_time=0.0), lambda p: arrivals.append(sim.now))
+        sim.run(1.0)
+        # serialization 2 x 1/100 + propagation 0.01 + 0.02
+        assert arrivals == [pytest.approx(0.05)]
+
+    def test_bottleneck_is_slowest_link(self):
+        sim = Simulator()
+        fast, slow = _link(sim, rate_pps=1000.0), _link(sim, rate_pps=10.0)
+        assert NetworkPath([fast, slow]).bottleneck is slow
+
+    def test_drop_at_second_hop_reported(self):
+        sim = Simulator()
+        first = _link(sim, rate_pps=1000.0, capacity=100)
+        second = _link(sim, rate_pps=10.0, capacity=1)
+        path = NetworkPath([first, second])
+        drops = []
+        path.drop_listeners.append(lambda p: drops.append(p.sequence))
+        delivered = []
+        for seq in range(10):
+            path.send(Packet(flow_id=0, sequence=seq), lambda p: delivered.append(p.sequence))
+        sim.run(5.0)
+        assert drops  # the slow second hop overflowed
+        assert len(delivered) + len(drops) == 10
+
+    def test_validation(self):
+        with pytest.raises(EmulationError):
+            NetworkPath([])
+        sim_a, sim_b = Simulator(), Simulator()
+        with pytest.raises(EmulationError, match="one Simulator"):
+            NetworkPath([_link(sim_a), _link(sim_b)])
+
+    def test_total_propagation(self):
+        sim = Simulator()
+        path = NetworkPath([_link(sim, delay=0.01), _link(sim, delay=0.03)])
+        assert path.total_propagation_delay == pytest.approx(0.04)
+
+
+class TestSenderOverPath:
+    def test_reno_fills_tightest_bottleneck(self):
+        sim = Simulator()
+        wide = _link(sim, rate_pps=2000.0, delay=0.005, capacity=200)
+        narrow = _link(sim, rate_pps=400.0, delay=0.005, capacity=60)
+        path = NetworkPath([wide, narrow])
+        sender = Sender(sim, path, Reno(), flow_id=0, reverse_delay=0.01, start_time=0.0)
+        sim.run(4.0)
+        sender.stop()
+        delivered_rate = sender.stats.delivered / 4.0
+        # Goodput approaches the narrow link's rate, not the wide one's.
+        assert 0.6 * 400.0 < delivered_rate <= 1.05 * 400.0
+        # The narrow hop did the queueing.
+        assert narrow.stats.dropped_overflow >= 0
+        assert wide.queue_length <= narrow.queue_capacity

@@ -1,0 +1,55 @@
+"""Tests for scenario sampling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.netsim.scenarios import DEFAULT_SPACE, ScenarioSpace
+
+
+class TestScenarioSpace:
+    def test_domains_match_feature_order(self):
+        names = DEFAULT_SPACE.feature_names()
+        assert names == ["bandwidth_mbps", "rtt_ms", "loss_rate", "n_flows"]
+        flows = DEFAULT_SPACE.domains()[3]
+        assert flows.integer
+
+    def test_uniform_samples_in_range(self):
+        scenarios = DEFAULT_SPACE.sample(200, random_state=0)
+        for scenario in scenarios:
+            assert DEFAULT_SPACE.bandwidth_mbps[0] <= scenario.bandwidth_mbps <= DEFAULT_SPACE.bandwidth_mbps[1]
+            assert DEFAULT_SPACE.rtt_ms[0] <= scenario.rtt_ms <= DEFAULT_SPACE.rtt_ms[1]
+            assert DEFAULT_SPACE.loss_rate[0] <= scenario.loss_rate <= DEFAULT_SPACE.loss_rate[1]
+            assert DEFAULT_SPACE.n_flows[0] <= scenario.n_flows <= DEFAULT_SPACE.n_flows[1]
+
+    def test_biased_sampling_concentrates_low_loss(self):
+        uniform = DEFAULT_SPACE.sample(500, random_state=1)
+        biased = DEFAULT_SPACE.sample_production_biased(500, random_state=1)
+        mean_loss_uniform = np.mean([s.loss_rate for s in uniform])
+        mean_loss_biased = np.mean([s.loss_rate for s in biased])
+        assert mean_loss_biased < 0.6 * mean_loss_uniform
+
+    def test_scenario_from_features_roundtrip(self):
+        scenario = DEFAULT_SPACE.sample(1, random_state=2)[0]
+        rebuilt = DEFAULT_SPACE.scenario_from_features(scenario.as_features())
+        assert rebuilt == scenario
+
+    def test_scenario_from_features_clips(self):
+        scenario = DEFAULT_SPACE.scenario_from_features([1e9, -5.0, 0.5, 100])
+        assert scenario.bandwidth_mbps == DEFAULT_SPACE.bandwidth_mbps[1]
+        assert scenario.rtt_ms == DEFAULT_SPACE.rtt_ms[0]
+        assert scenario.loss_rate == DEFAULT_SPACE.loss_rate[1]
+        assert scenario.n_flows == DEFAULT_SPACE.n_flows[1]
+
+    def test_feature_count_validated(self):
+        with pytest.raises(ValidationError):
+            DEFAULT_SPACE.scenario_from_features([1.0, 2.0])
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioSpace(rtt_ms=(50.0, 50.0))
+
+    def test_sampling_reproducible(self):
+        a = DEFAULT_SPACE.sample(5, random_state=7)
+        b = DEFAULT_SPACE.sample(5, random_state=7)
+        assert a == b

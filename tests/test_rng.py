@@ -1,0 +1,60 @@
+"""Tests for repro.rng."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.rng import check_random_state, spawn
+
+
+class TestCheckRandomState:
+    def test_none_returns_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = check_random_state(5).integers(0, 1000, size=10)
+        b = check_random_state(5).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = check_random_state(5).integers(0, 10**9)
+        b = check_random_state(6).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert check_random_state(rng) is rng
+
+    def test_numpy_integer_accepted(self):
+        rng = check_random_state(np.int64(9))
+        assert isinstance(rng, np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            check_random_state(-1)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValidationError):
+            check_random_state("seed")
+
+
+class TestSpawn:
+    def test_children_count(self):
+        assert len(spawn(np.random.default_rng(0), 5)) == 5
+
+    def test_children_reproducible(self):
+        kids_a = spawn(np.random.default_rng(1), 3)
+        kids_b = spawn(np.random.default_rng(1), 3)
+        for a, b in zip(kids_a, kids_b):
+            assert a.integers(0, 10**9) == b.integers(0, 10**9)
+
+    def test_children_independent(self):
+        kids = spawn(np.random.default_rng(2), 2)
+        assert kids[0].integers(0, 10**9) != kids[1].integers(0, 10**9)
+
+    def test_zero_children(self):
+        assert spawn(np.random.default_rng(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn(np.random.default_rng(0), -1)

@@ -1,0 +1,167 @@
+"""Tests for the Wilcoxon test and the significance table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.exceptions import ValidationError
+from repro.stats import AlgorithmScores, SignificanceTable, wilcoxon_signed_rank
+
+
+class TestWilcoxon:
+    def test_clear_difference_small_p(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0.0, 0.1, size=30)
+        y = x + 0.5  # y is clearly larger
+        result = wilcoxon_signed_rank(x, y, alternative="less")
+        assert result.p_value < 1e-4
+        assert result.significant()
+
+    def test_no_difference_large_p(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=25)
+        y = x + rng.normal(0, 1e-3, size=25)
+        result = wilcoxon_signed_rank(x, y, alternative="less")
+        assert result.p_value > 0.01
+
+    def test_direction_of_alternative(self):
+        x = np.arange(10.0)
+        y = x + 1.0
+        less = wilcoxon_signed_rank(x, y, alternative="less")
+        greater = wilcoxon_signed_rank(x, y, alternative="greater")
+        assert less.p_value < 0.05
+        assert greater.p_value > 0.9
+
+    def test_zero_differences_discarded(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        result = wilcoxon_signed_rank(x, x, alternative="less")
+        assert result.n_effective == 0
+        assert result.p_value == 1.0
+
+    def test_exact_small_sample(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([2.0, 3.0, 4.0])
+        result = wilcoxon_signed_rank(x, y, alternative="less")
+        assert result.method == "exact"
+        # All 3 differences negative: P(W+ <= 0) = 1/8.
+        assert result.p_value == pytest.approx(1 / 8)
+
+    def test_normal_approximation_large_sample(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=50)
+        y = x + rng.normal(0.2, 0.5, size=50)
+        result = wilcoxon_signed_rank(x, y, alternative="less")
+        assert result.method == "normal"
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_matches_scipy_exact(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            x = rng.normal(size=12)
+            y = x + rng.normal(0.3, 0.8, size=12)
+            ours = wilcoxon_signed_rank(x, y, alternative="less")
+            theirs = scipy_stats.wilcoxon(x, y, alternative="less", mode="exact")
+            assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9)
+
+    def test_matches_scipy_normal_approx(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=60)
+        y = x + rng.normal(0.1, 0.6, size=60)
+        ours = wilcoxon_signed_rank(x, y, alternative="less")
+        theirs = scipy_stats.wilcoxon(x, y, alternative="less", mode="approx", correction=True)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=0.02)
+
+    def test_two_sided(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=15)
+        y = x + 1.0
+        result = wilcoxon_signed_rank(x, y, alternative="two-sided")
+        one_sided = wilcoxon_signed_rank(x, y, alternative="less")
+        assert result.p_value == pytest.approx(2 * one_sided.p_value, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            wilcoxon_signed_rank([1.0, 2.0], [1.0], alternative="less")
+        with pytest.raises(ValidationError):
+            wilcoxon_signed_rank([1.0], [1.0], alternative="weird")
+
+
+class TestSignificanceTable:
+    def _table(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(0.7, 0.05, size=40)
+        return SignificanceTable(
+            [
+                AlgorithmScores("weak", base - 0.05),
+                AlgorithmScores("strong", base + 0.05),
+                AlgorithmScores("same", base + rng.normal(0, 1e-4, size=40)),
+            ]
+        )
+
+    def test_mean_std_formatting(self):
+        table = self._table()
+        text = table.scores("strong").formatted()
+        assert "%" in text and "±" in text
+
+    def test_p_value_direction(self):
+        table = self._table()
+        assert table.p_value("weak", "strong") < 0.01
+        assert table.p_value("strong", "weak") > 0.9
+
+    def test_self_comparison_is_nan(self):
+        table = self._table()
+        assert np.isnan(table.p_value("weak", "weak"))
+
+    def test_matrix_against(self):
+        table = self._table()
+        matrix = table.matrix_against(["strong"])
+        assert matrix["weak"]["strong"] < 0.01
+
+    def test_format_table_text(self):
+        text = self._table().format_table(["strong"])
+        assert "P(X, strong)" in text
+        assert "weak" in text
+
+    def test_unknown_algorithm(self):
+        table = self._table()
+        with pytest.raises(ValidationError):
+            table.p_value("weak", "nope")
+        with pytest.raises(ValidationError):
+            table.format_table(["nope"])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            SignificanceTable(
+                [AlgorithmScores("a", np.ones(5)), AlgorithmScores("b", np.ones(6))]
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            SignificanceTable(
+                [AlgorithmScores("a", np.ones(5)), AlgorithmScores("a", np.ones(5))]
+            )
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(ValidationError):
+            AlgorithmScores("a", np.array([]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(5, 40),
+    shift=st.floats(-1.0, 1.0, allow_nan=False),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_wilcoxon_p_value_valid_probability_property(n, shift, seed):
+    """p-values are always in [0, 1] and the two alternatives are coherent."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n)
+    y = x + shift + rng.normal(0, 0.2, size=n)
+    less = wilcoxon_signed_rank(x, y, alternative="less").p_value
+    greater = wilcoxon_signed_rank(x, y, alternative="greater").p_value
+    assert 0.0 <= less <= 1.0
+    assert 0.0 <= greater <= 1.0
+    # The two one-sided tests cannot both be tiny.
+    assert less + greater >= 0.9

@@ -1,0 +1,102 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.stats import bootstrap_difference_ci, bootstrap_mean_ci
+
+
+class TestBootstrapMean:
+    def test_estimate_is_sample_mean(self):
+        scores = np.array([0.5, 0.6, 0.7])
+        ci = bootstrap_mean_ci(scores, random_state=0)
+        assert ci.estimate == pytest.approx(0.6)
+
+    def test_interval_contains_estimate(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(0.7, 0.05, size=40)
+        ci = bootstrap_mean_ci(scores, random_state=1)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_interval_narrows_with_more_data(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_mean_ci(rng.normal(0.7, 0.1, size=10), random_state=2)
+        large = bootstrap_mean_ci(rng.normal(0.7, 0.1, size=500), random_state=2)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_higher_confidence_wider(self):
+        rng = np.random.default_rng(2)
+        scores = rng.normal(0.7, 0.1, size=30)
+        narrow = bootstrap_mean_ci(scores, confidence=0.8, random_state=3)
+        wide = bootstrap_mean_ci(scores, confidence=0.99, random_state=3)
+        assert (wide.high - wide.low) > (narrow.high - narrow.low)
+
+    def test_coverage_on_known_distribution(self):
+        # ~95% of CIs from N(0.5, 0.1) samples should contain 0.5.
+        rng = np.random.default_rng(3)
+        hits = 0
+        for trial in range(100):
+            scores = rng.normal(0.5, 0.1, size=25)
+            ci = bootstrap_mean_ci(scores, n_resamples=400, random_state=trial)
+            hits += ci.contains(0.5)
+        assert hits >= 85
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bootstrap_mean_ci([0.5])
+        with pytest.raises(ValidationError):
+            bootstrap_mean_ci([0.5, 0.6], confidence=1.5)
+        with pytest.raises(ValidationError):
+            bootstrap_mean_ci([0.5, 0.6], n_resamples=10)
+
+    def test_str_rendering(self):
+        ci = bootstrap_mean_ci(np.array([0.5, 0.6, 0.7]), random_state=0)
+        assert "95%" in str(ci)
+
+
+class TestBootstrapDifference:
+    def test_clear_improvement_excludes_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0.6, 0.02, size=40)
+        y = x + 0.1
+        ci = bootstrap_difference_ci(x, y, random_state=1)
+        assert ci.low > 0.0
+        assert ci.estimate == pytest.approx(0.1)
+
+    def test_no_difference_straddles_zero(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0.6, 0.05, size=40)
+        y = x + rng.normal(0.0, 0.01, size=40)
+        ci = bootstrap_difference_ci(x, y, random_state=2)
+        assert ci.low < 0.0 < ci.high or abs(ci.estimate) < 0.01
+
+    def test_pairing_matters(self):
+        # Paired differences with tiny noise give a much tighter CI than
+        # the marginal spreads suggest.
+        rng = np.random.default_rng(2)
+        base = rng.normal(0.5, 0.2, size=50)  # huge between-test-set spread
+        x = base
+        y = base + 0.05 + rng.normal(0, 0.005, size=50)
+        ci = bootstrap_difference_ci(x, y, random_state=3)
+        assert ci.low > 0.03
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            bootstrap_difference_ci([0.1, 0.2], [0.1])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(5, 50),
+    mu=st.floats(-1, 1, allow_nan=False),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_bootstrap_ci_ordering_property(n, mu, seed):
+    """low <= estimate <= high always holds."""
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(mu, 0.1, size=n)
+    ci = bootstrap_mean_ci(scores, n_resamples=200, random_state=seed)
+    assert ci.low <= ci.estimate <= ci.high
