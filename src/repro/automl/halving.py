@@ -25,7 +25,7 @@ from ..ml.base import check_X_y
 from ..ml.metrics import balanced_accuracy
 from ..ml.model_selection import stratified_split_indices
 from ..rng import RandomState, check_random_state
-from .search import EvaluatedCandidate, SearchResult, _align_proba
+from .search import EvaluatedCandidate, SearchResult, _align_proba, budget_exhausted
 from .spaces import Candidate, ModelFamily, default_model_families, sample_candidate
 
 __all__ = ["SuccessiveHalvingSearch"]
@@ -43,6 +43,12 @@ class SuccessiveHalvingSearch:
         data budget by ``eta``).
     min_resource_fraction:
         Fraction of the training rows the first rung fits on.
+    time_budget:
+        Optional wall-clock cap in seconds, metered across *all* rungs
+        (not per rung).  Same contract as
+        :class:`~repro.automl.search.RandomSearch`: ``None`` never
+        consults the clock, ``0`` means no evaluations at all, a positive
+        value admits at least one evaluation.
     """
 
     def __init__(
@@ -65,8 +71,8 @@ class SuccessiveHalvingSearch:
             raise ValidationError(f"min_resource_fraction must be in (0, 1], got {min_resource_fraction}")
         if not 0.0 < valid_fraction < 1.0:
             raise ValidationError(f"valid_fraction must be in (0, 1), got {valid_fraction}")
-        if time_budget is not None and time_budget <= 0:
-            raise SearchBudgetError(f"time_budget must be positive, got {time_budget}")
+        if time_budget is not None and time_budget < 0:
+            raise SearchBudgetError(f"time_budget must be >= 0 or None, got {time_budget}")
         self.n_candidates = n_candidates
         self.eta = eta
         self.min_resource_fraction = min_resource_fraction
@@ -104,8 +110,13 @@ class SuccessiveHalvingSearch:
                     extra = np.flatnonzero(y_train == label)[:1]
                     rows = np.concatenate([rows, extra])
             scored: list[tuple[float, Candidate, np.ndarray, float]] = []
+            exhausted = False
             for candidate in survivors:
-                if scored and self.time_budget is not None and time.monotonic() - start > self.time_budget:
+                # Budget is metered over everything evaluated so far across
+                # rungs — a fresh rung gets no free evaluations once the
+                # clock has run out.
+                if budget_exhausted(start, self.time_budget, len(evaluated) + len(scored)):
+                    exhausted = True
                     break
                 fit_start = time.monotonic()
                 try:
@@ -126,7 +137,7 @@ class SuccessiveHalvingSearch:
                 evaluated[id(candidate)] = EvaluatedCandidate(
                     candidate=candidate, score=score, fit_seconds=seconds, valid_proba=proba
                 )
-            if len(scored) <= 1 or resource >= 1.0:
+            if exhausted or len(scored) <= 1 or resource >= 1.0:
                 break
             keep = max(1, len(scored) // self.eta)
             survivors = [candidate for _, candidate, _, _ in scored[:keep]]
@@ -134,6 +145,8 @@ class SuccessiveHalvingSearch:
 
         results = sorted(evaluated.values(), key=lambda item: item.score, reverse=True)
         if not results:
+            if self.time_budget == 0:
+                raise SearchBudgetError("time_budget=0 allows no candidate evaluations")
             raise SearchBudgetError(
                 f"all {len(failures)} candidate configurations failed; first error: "
                 f"{failures[0][1] if failures else 'none sampled'}"

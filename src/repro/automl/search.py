@@ -23,7 +23,25 @@ from ..ml.model_selection import stratified_split_indices
 from ..rng import RandomState, check_random_state
 from .spaces import Candidate, ModelFamily, default_model_families, sample_candidate
 
-__all__ = ["SearchResult", "EvaluatedCandidate", "RandomSearch"]
+__all__ = ["SearchResult", "EvaluatedCandidate", "RandomSearch", "budget_exhausted"]
+
+
+def budget_exhausted(start: float, time_budget: float | None, n_evaluated: int) -> bool:
+    """Shared wall-clock budget test for every search strategy.
+
+    The contract (pinned by ``tests/test_automl_budget.py``): ``None``
+    means the clock is never consulted; ``0`` is exhausted before the
+    first evaluation, i.e. zero search iterations; a positive budget
+    always admits at least one evaluation so a search can return
+    something, then stops once the elapsed time exceeds it.
+    """
+    if time_budget is None:
+        return False
+    if time_budget == 0:
+        return True
+    if n_evaluated == 0:
+        return False
+    return time.monotonic() - start > time_budget
 
 
 @dataclass
@@ -61,8 +79,12 @@ class RandomSearch:
     n_iterations:
         Maximum number of candidate configurations to evaluate.
     time_budget:
-        Optional wall-clock cap in seconds; at least one candidate is
-        always evaluated.
+        Optional wall-clock cap in seconds.  ``None`` disables the clock
+        entirely (only ``n_iterations`` limits the run), a positive value
+        always admits at least one evaluation, and ``0`` means *no search
+        iterations at all* — ``run`` raises
+        :class:`~repro.exceptions.SearchBudgetError` without touching the
+        clock.
     valid_fraction:
         Fraction of the training data held out for scoring candidates.
     scorer:
@@ -83,8 +105,8 @@ class RandomSearch:
     ):
         if n_iterations < 1:
             raise SearchBudgetError(f"n_iterations must be >= 1, got {n_iterations}")
-        if time_budget is not None and time_budget <= 0:
-            raise SearchBudgetError(f"time_budget must be positive, got {time_budget}")
+        if time_budget is not None and time_budget < 0:
+            raise SearchBudgetError(f"time_budget must be >= 0 or None, got {time_budget}")
         if not 0.0 < valid_fraction < 1.0:
             raise ValidationError(f"valid_fraction must be in (0, 1), got {valid_fraction}")
         self.n_iterations = n_iterations
@@ -113,7 +135,7 @@ class RandomSearch:
         start = time.monotonic()
         warm_queue = list(self.initial_candidates)
         for _ in range(self.n_iterations):
-            if evaluated and self.time_budget is not None and time.monotonic() - start > self.time_budget:
+            if budget_exhausted(start, self.time_budget, len(evaluated)):
                 break
             candidate = warm_queue.pop(0) if warm_queue else sample_candidate(families, rng)
             fit_start = time.monotonic()
@@ -135,6 +157,8 @@ class RandomSearch:
             )
         evaluated.sort(key=lambda item: item.score, reverse=True)
         if not evaluated:
+            if self.time_budget == 0:
+                raise SearchBudgetError("time_budget=0 allows no candidate evaluations")
             raise SearchBudgetError(
                 f"all {len(failures)} candidate configurations failed; first error: "
                 f"{failures[0][1] if failures else 'none sampled'}"

@@ -8,7 +8,8 @@ table or figure without touching Python:
 - ``figure1``  — the link-rate ALE plot;
 - ``figure2``  — the firewall port ALE plots;
 - ``sweep``    — the §4 threshold sensitivity analysis;
-- ``emulate``  — run one network scenario through every protocol.
+- ``emulate``  — run one network scenario through every protocol;
+- ``lint``     — run reprolint (RL001-RL005) over the source tree.
 
 Results print to stdout; ``--output DIR`` additionally writes the JSON/CSV
 record bundle.
@@ -127,6 +128,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_emulate(args: argparse.Namespace) -> int:
     from .netsim import PROTOCOLS, NetworkScenario, run_fluid_scenario, run_packet_scenario
 
@@ -176,6 +183,12 @@ def build_parser() -> argparse.ArgumentParser:
     emulate.add_argument("--engine", choices=("packet", "fluid"), default="packet")
     emulate.add_argument("--seed", type=int, default=None)
     emulate.set_defaults(handler=_cmd_emulate)
+
+    from .devtools.cli import add_lint_arguments
+
+    lint = subparsers.add_parser("lint", help="check code invariants (rules RL001-RL005)")
+    add_lint_arguments(lint)
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 

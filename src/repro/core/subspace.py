@@ -12,58 +12,24 @@ domain), i.e. a box.  This module provides the general machinery:
   ``(A, b)``;
 - :class:`SubspaceUnion` — a union of boxes supporting membership tests,
   volume computation and uniform sampling.
+
+:class:`Interval` and :class:`FeatureDomain` live in
+:mod:`repro.featurespace` (the layer below, so substrates like
+``repro.netsim`` can describe their spaces without importing the core) and
+are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..exceptions import SubspaceError
+from ..featurespace import FeatureDomain, Interval
 from ..rng import RandomState, check_random_state
 
 __all__ = ["Interval", "IntervalUnion", "FeatureDomain", "Box", "SubspaceUnion"]
-
-
-@dataclass(frozen=True)
-class Interval:
-    """A closed interval ``[low, high]`` on the real line."""
-
-    low: float
-    high: float
-
-    def __post_init__(self):
-        if not np.isfinite(self.low) or not np.isfinite(self.high):
-            raise SubspaceError(f"interval bounds must be finite, got [{self.low}, {self.high}]")
-        if self.low > self.high:
-            raise SubspaceError(f"interval low {self.low} exceeds high {self.high}")
-
-    @property
-    def length(self) -> float:
-        return self.high - self.low
-
-    def contains(self, value) -> np.ndarray | bool:
-        value = np.asarray(value)
-        result = (value >= self.low) & (value <= self.high)
-        return bool(result) if result.ndim == 0 else result
-
-    def intersects(self, other: "Interval") -> bool:
-        return self.low <= other.high and other.low <= self.high
-
-    def intersection(self, other: "Interval") -> "Interval | None":
-        if not self.intersects(other):
-            return None
-        return Interval(max(self.low, other.low), min(self.high, other.high))
-
-    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
-        if self.length == 0:
-            return np.full(n, self.low)
-        return rng.uniform(self.low, self.high, size=n)
-
-    def __str__(self) -> str:
-        return f"[{self.low:g}, {self.high:g}]"
 
 
 class IntervalUnion:
@@ -138,32 +104,6 @@ class IntervalUnion:
 
     def __repr__(self) -> str:
         return f"IntervalUnion({list(self.intervals)!r})"
-
-
-@dataclass(frozen=True)
-class FeatureDomain:
-    """A named feature with its valid value range.
-
-    ``integer`` marks features that only take integer values (ports, flow
-    counts); sampling rounds accordingly.
-    """
-
-    name: str
-    low: float
-    high: float
-    integer: bool = False
-
-    def __post_init__(self):
-        if self.low >= self.high:
-            raise SubspaceError(f"domain for {self.name!r} is empty: [{self.low}, {self.high}]")
-
-    @property
-    def interval(self) -> Interval:
-        return Interval(self.low, self.high)
-
-    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
-        values = rng.uniform(self.low, self.high, size=n)
-        return np.round(values) if self.integer else values
 
 
 class Box:
@@ -292,7 +232,8 @@ class SubspaceUnion:
             return self.boxes[0].volume()
         # Monte Carlo over the domain box: cheap, unbiased, and adequate for
         # the diagnostics this is used for (threshold sweeps).
-        rng = np.random.default_rng(0)
+        # Fixed seed: volume() is a pure query, so repeated calls must agree.
+        rng = check_random_state(0)
         samples = np.column_stack([domain.sample(4096, rng) for domain in self.domains])
         return float(np.mean(self.contains(samples)))
 

@@ -1,0 +1,50 @@
+"""repro.devtools — static-analysis tooling for the reproduction.
+
+The centerpiece is **reprolint**, an AST-based invariant checker that
+enforces what the Python runtime never would: RNG discipline (RL001), the
+DESIGN §3 import-layer DAG (RL002), the shared estimator API contract
+(RL003), wall-clock purity (RL004), and general footguns (RL005).  Run it
+as ``python -m repro lint [paths]`` or programmatically::
+
+    from repro.devtools import LintEngine, load_config
+
+    findings = LintEngine(load_config()).lint_paths(["src/repro"])
+
+This package is deliberately self-contained (stdlib only, no imports from
+the rest of ``repro``), so it can lint a tree whose runtime code is broken
+and can itself be held to the strictest layer of the DAG.
+"""
+
+from .config import (
+    DEFAULT_ALLOW,
+    DEFAULT_LAYERS,
+    LintConfig,
+    LintConfigError,
+    config_from_table,
+    load_config,
+)
+from .engine import FileContext, LintEngine, Rule, register, registered_rules
+from .findings import Finding, Severity
+from .reporters import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, render_json, render_text
+from . import rules as _rules  # noqa: F401 — importing registers RL001-RL005
+
+__all__ = [
+    "DEFAULT_ALLOW",
+    "DEFAULT_LAYERS",
+    "LintConfig",
+    "LintConfigError",
+    "config_from_table",
+    "load_config",
+    "FileContext",
+    "LintEngine",
+    "Rule",
+    "register",
+    "registered_rules",
+    "Finding",
+    "Severity",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "render_json",
+    "render_text",
+]

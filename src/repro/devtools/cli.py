@@ -1,0 +1,60 @@
+"""The ``repro lint`` entry point.
+
+Thin orchestration over the engine: load config (built-in defaults merged
+with ``[tool.reprolint]`` from the nearest ``pyproject.toml``), lint the
+requested paths, render, and translate findings into an exit code.  Kept
+separate from :mod:`repro.cli` so the linter runs standalone
+(``python -m repro.devtools.cli src/``) even if the runtime package fails
+to import.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .config import LintConfigError, load_config
+from .engine import LintEngine
+from .reporters import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, render_json, render_text
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text", help="report format")
+    parser.add_argument("--config", type=Path, default=None, help="explicit pyproject.toml (default: discovered)")
+    parser.add_argument("--root", type=Path, default=None, help="base directory findings are reported relative to")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed arguments; returns exit code."""
+    try:
+        config = load_config(args.config)
+    except LintConfigError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"reprolint: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return EXIT_USAGE
+    engine = LintEngine(config)
+    findings = engine.lint_paths(args.paths, root=args.root)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings))
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant checker for the repro codebase (rules RL001-RL005).",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Finding records emitted by reprolint rules.
+
+A :class:`Finding` pins one rule violation to a file, line and column.
+Findings order deterministically by ``(path, line, col, rule id)`` so both
+reporters and tests see a stable sequence regardless of rule execution
+order or filesystem enumeration order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; errors fail the lint run, warnings do not."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error" / "warning" in reports
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str = field(compare=False)
+    severity: Severity = field(default=Severity.ERROR, compare=False)
+
+    def render(self) -> str:
+        """One-line human-readable form: ``path:line:col RLxxx message``."""
+        return f"{self.path}:{self.line}:{self.col} {self.rule_id} [{self.severity}] {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form with stable key order."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+        }

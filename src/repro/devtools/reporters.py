@@ -1,0 +1,39 @@
+"""Finding reporters: human text and machine JSON.
+
+Both render an already-sorted finding list, so output is byte-stable for a
+given tree — diffs of lint output are meaningful and the JSON form can be
+snapshotted in tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .findings import Finding
+
+__all__ = ["render_text", "render_json", "EXIT_CLEAN", "EXIT_FINDINGS", "EXIT_USAGE"]
+
+#: Exit codes for the lint CLI (mirroring the common flake8/ruff contract).
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """One line per finding plus a trailing summary line."""
+    findings = list(findings)
+    lines = [finding.render() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"reprolint: {len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Stable JSON document: sorted findings, sorted keys, count included."""
+    findings = list(findings)
+    document = {
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

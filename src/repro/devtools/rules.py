@@ -1,0 +1,364 @@
+"""The concrete reprolint rules, RL001–RL005.
+
+Each rule enforces one invariant the reproduction's correctness argument
+rests on (see DESIGN.md §3 and README "Code invariants & reprolint"):
+
+- RL001 — randomness must flow through a passed ``numpy.random.Generator``
+  normalized by ``repro.rng.check_random_state``; global-state RNG calls
+  make parallel/sharded runs unreproducible.
+- RL002 — the package import graph must stay the documented DAG, so the
+  interpretation core never grows a dependency on the substrates it
+  explains.
+- RL003 — every ``repro.ml`` estimator honors the one shared API that
+  ``AutoMLClassifier`` and QBC blindly consume.
+- RL004 — wall-clock reads live only in budget-owning modules; anywhere
+  else they smuggle nondeterminism into supposedly pure computations.
+- RL005 — no mutable default arguments, no bare ``except:``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .engine import FileContext, Rule, register
+from .findings import Finding, Severity
+
+__all__ = [
+    "RngDisciplineRule",
+    "LayeringRule",
+    "EstimatorContractRule",
+    "WallClockRule",
+    "FootgunRule",
+]
+
+# -- RL001 -------------------------------------------------------------------
+
+#: Call targets that read or mutate process-global RNG state.
+_GLOBAL_STATE_PREFIXES = ("numpy.random.", "random.")
+#: Generator/bit-generator constructors: seeding decisions belong to
+#: ``repro.rng``, not to scattered call sites.
+_CONSTRUCTOR_TARGETS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.PCG64",
+    "numpy.random.MT19937",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.RandomState",
+}
+
+
+@register
+class RngDisciplineRule(Rule):
+    """RL001: randomness must come from a passed ``Generator``.
+
+    Flags any call into ``numpy.random`` or the stdlib ``random`` module —
+    both the legacy global-state functions (``np.random.rand``,
+    ``np.random.seed``, ``random.shuffle``) and direct generator
+    construction (``np.random.default_rng(...)``).  ``repro/rng.py`` is
+    allowlisted in the default config: it is the single module entitled to
+    build generators.
+    """
+
+    id = "RL001"
+    name = "rng-discipline"
+    description = "randomness must thread through repro.rng, not global numpy/stdlib RNG state"
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        target = ctx.resolve_call_target(node)
+        if target is None:
+            return
+        if target in _CONSTRUCTOR_TARGETS:
+            yield self.finding(
+                ctx,
+                node,
+                f"direct generator construction '{target}' — accept a random_state and "
+                "normalize it with repro.rng.check_random_state instead",
+            )
+        elif target.startswith(_GLOBAL_STATE_PREFIXES):
+            yield self.finding(
+                ctx,
+                node,
+                f"global-state RNG call '{target}' — draw from a passed numpy Generator instead",
+            )
+
+
+# -- RL002 -------------------------------------------------------------------
+
+
+@register
+class LayeringRule(Rule):
+    """RL002: the package import graph must stay the DESIGN §3 DAG.
+
+    Resolves both ``import x.y`` and ``from ..x import y`` forms (any
+    relative level) to dotted modules, maps each endpoint to its
+    first-level layer under the root package, and checks the edge against
+    the configured layer map.  Intra-layer imports are always allowed;
+    imports of modules outside the root package are not this rule's
+    business.
+    """
+
+    id = "RL002"
+    name = "layering"
+    description = "cross-package imports must follow the documented layer DAG"
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield from self._check_edge(node, alias.name, ctx)
+        elif isinstance(node, ast.ImportFrom):
+            target = self._resolve_from(node, ctx)
+            if target is not None:
+                yield from self._check_edge(node, target, ctx)
+
+    def _resolve_from(self, node: ast.ImportFrom, ctx: FileContext) -> str | None:
+        if node.level == 0:
+            return node.module
+        if ctx.module is None:
+            return None  # relative import in an unknown package: cannot resolve
+        parts = ctx.module.split(".")
+        # The module's own package: itself if it is a package __init__,
+        # otherwise its parent; each extra level climbs one package higher.
+        package = parts if _is_package(ctx) else parts[:-1]
+        climb = node.level - 1
+        if climb > len(package):
+            return None
+        base = package[: len(package) - climb]
+        return ".".join(base + (node.module.split(".") if node.module else []))
+
+    def _check_edge(self, node: ast.AST, target_module: str, ctx: FileContext) -> Iterable[Finding]:
+        source_layer = ctx.layer_of(ctx.module) if ctx.module else None
+        target_layer = ctx.layer_of(target_module)
+        if source_layer is None or target_layer is None or source_layer == target_layer:
+            return
+        allowed = ctx.config.allowed_layers(source_layer)
+        if allowed == "*" or target_layer in allowed:
+            return
+        yield self.finding(
+            ctx,
+            node,
+            f"layer '{source_layer}' must not import '{target_layer}' "
+            f"({target_module}); allowed: {sorted(allowed) if allowed else 'nothing'}",
+        )
+
+
+def _is_package(ctx: FileContext) -> bool:
+    return ctx.path.stem == "__init__"
+
+
+# -- RL003 -------------------------------------------------------------------
+
+#: Base classes known to provide ``predict`` to their subclasses.
+_PREDICT_PROVIDERS = {"ClassifierMixin"}
+#: Calls that mean "this class draws randomness".
+_RANDOMNESS_SOURCES = {"check_random_state", "spawn"}
+
+
+@register
+class EstimatorContractRule(Rule):
+    """RL003: ``repro.ml`` estimators must honor the shared API.
+
+    For every class in ``repro.ml`` that defines ``fit``:
+
+    - every ``return`` in ``fit`` must be ``return self`` (and at least
+      one must exist), so call sites can chain ``Estimator().fit(X, y)``;
+    - the class must expose ``predict`` or ``transform`` — directly,
+      through ``ClassifierMixin``, or through a same-module base class;
+    - if any method draws randomness (calls ``check_random_state`` or
+      ``spawn``), the constructor must accept ``random_state``.
+    """
+
+    id = "RL003"
+    name = "estimator-contract"
+    description = "repro.ml estimators: fit returns self, predict/transform exists, random_state accepted"
+
+    def start(self, ctx: FileContext) -> None:
+        # Class name -> ClassDef for same-module base resolution.
+        self._classes = {
+            node.name: node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if not isinstance(node, ast.ClassDef):
+            return
+        ml_package = f"{ctx.config.root_package}.ml"
+        if ctx.module is None or not (ctx.module == ml_package or ctx.module.startswith(ml_package + ".")):
+            return
+        methods = _own_methods(node)
+        fit = methods.get("fit")
+        if fit is None:
+            return
+        yield from self._check_fit_returns(fit, ctx)
+        if not self._provides_consumer_api(node, seen=set()):
+            yield self.finding(
+                ctx,
+                node,
+                f"estimator '{node.name}' defines fit but neither defines nor inherits predict/transform",
+            )
+        if self._draws_randomness(node) and not self._accepts_random_state(node):
+            yield self.finding(
+                ctx,
+                node,
+                f"estimator '{node.name}' draws randomness but its __init__ does not accept random_state",
+            )
+
+    def _check_fit_returns(self, fit: ast.FunctionDef, ctx: FileContext) -> Iterable[Finding]:
+        returns = [n for n in _walk_function_body(fit) if isinstance(n, ast.Return)]
+        if not returns:
+            yield self.finding(ctx, fit, f"'{fit.name}' must end with 'return self' (no return found)")
+            return
+        for ret in returns:
+            if not (isinstance(ret.value, ast.Name) and ret.value.id == "self"):
+                yield self.finding(ctx, ret, "fit must 'return self', not another value")
+
+    def _provides_consumer_api(self, node: ast.ClassDef, seen: set[str]) -> bool:
+        methods = _own_methods(node)
+        if "predict" in methods or "transform" in methods:
+            return True
+        for base in node.bases:
+            name = base.id if isinstance(base, ast.Name) else getattr(base, "attr", None)
+            if name is None or name in seen:
+                continue
+            seen.add(name)
+            if name in _PREDICT_PROVIDERS:
+                return True
+            base_def = self._classes.get(name)
+            if base_def is not None and self._provides_consumer_api(base_def, seen):
+                return True
+        return False
+
+    @staticmethod
+    def _draws_randomness(node: ast.ClassDef) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+                if name in _RANDOMNESS_SOURCES:
+                    return True
+        return False
+
+    def _accepts_random_state(self, node: ast.ClassDef, seen: set[str] | None = None) -> bool:
+        seen = set() if seen is None else seen
+        methods = _own_methods(node)
+        for method_name in ("__init__", "fit"):
+            method = methods.get(method_name)
+            if method is not None and _accepts_param(method, "random_state"):
+                return True
+        if "__init__" in methods:
+            return False  # the class owns its signature and it lacks random_state
+        for base in node.bases:  # no __init__ here: the inherited one may accept it
+            name = base.id if isinstance(base, ast.Name) else getattr(base, "attr", None)
+            if name is None or name in seen:
+                continue
+            seen.add(name)
+            base_def = self._classes.get(name)
+            if base_def is not None and self._accepts_random_state(base_def, seen):
+                return True
+        return False
+
+
+def _own_methods(node: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        item.name: item
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _accepts_param(func: ast.FunctionDef, param: str) -> bool:
+    args = func.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+    return param in names or args.kwarg is not None
+
+
+def _walk_function_body(func: ast.FunctionDef):
+    """Walk ``func``'s statements without descending into nested defs."""
+    stack = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# -- RL004 -------------------------------------------------------------------
+
+_CLOCK_TARGETS = {
+    "time.time",
+    "time.monotonic",
+    "time.perf_counter",
+    "time.process_time",
+    "time.time_ns",
+    "time.monotonic_ns",
+    "time.perf_counter_ns",
+}
+
+
+@register
+class WallClockRule(Rule):
+    """RL004: wall-clock reads only in budget-owning modules.
+
+    The default config allowlists ``automl/search.py``, ``automl/halving.py``
+    and ``experiments/runner.py`` — the modules that own time budgets.
+    Anywhere else, a clock read makes a result depend on machine speed.
+    """
+
+    id = "RL004"
+    name = "wall-clock-purity"
+    description = "time.time/monotonic/perf_counter belong only to budget-owning modules"
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        target = ctx.resolve_call_target(node)
+        if target in _CLOCK_TARGETS:
+            yield self.finding(
+                ctx,
+                node,
+                f"wall-clock read '{target}' outside a budget-owning module — "
+                "pass elapsed time in, or move the budget logic here explicitly",
+            )
+
+
+# -- RL005 -------------------------------------------------------------------
+
+
+@register
+class FootgunRule(Rule):
+    """RL005: no mutable default arguments, no bare ``except:``."""
+
+    id = "RL005"
+    name = "no-mutable-default"
+    description = "mutable default arguments and bare except clauses are forbidden"
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            args = node.args
+            for default in (*args.defaults, *args.kw_defaults):
+                if default is not None and _is_mutable_literal(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in '{name}' — default to None and build inside",
+                    )
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield self.finding(
+                ctx,
+                node,
+                "bare 'except:' swallows SystemExit/KeyboardInterrupt — catch a library error type",
+            )
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"list", "dict", "set", "bytearray"} and not node.args and not node.keywords
+    return False

@@ -1,0 +1,86 @@
+"""Primitive feature-space types shared across layers.
+
+:class:`Interval` and :class:`FeatureDomain` describe *where data lives* —
+a 1-D range and a named feature with its valid range.  They sit below
+``repro.core`` in the layer DAG (DESIGN §3) because substrates need them
+too: ``repro.netsim`` describes its scenario space with feature domains,
+yet must not depend on the interpretation core that consumes those domains.
+The richer subspace algebra (interval unions, boxes, ``Ax ≤ b`` systems)
+stays in :mod:`repro.core.subspace`, which re-exports these types so
+existing import sites keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .exceptions import SubspaceError
+
+__all__ = ["Interval", "FeatureDomain"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[low, high]`` on the real line."""
+
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if not np.isfinite(self.low) or not np.isfinite(self.high):
+            raise SubspaceError(f"interval bounds must be finite, got [{self.low}, {self.high}]")
+        if self.low > self.high:
+            raise SubspaceError(f"interval low {self.low} exceeds high {self.high}")
+
+    @property
+    def length(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value) -> np.ndarray | bool:
+        value = np.asarray(value)
+        result = (value >= self.low) & (value <= self.high)
+        return bool(result) if result.ndim == 0 else result
+
+    def intersects(self, other: "Interval") -> bool:
+        return self.low <= other.high and other.low <= self.high
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        if not self.intersects(other):
+            return None
+        return Interval(max(self.low, other.low), min(self.high, other.high))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if self.length == 0:
+            return np.full(n, self.low)
+        return rng.uniform(self.low, self.high, size=n)
+
+    def __str__(self) -> str:
+        return f"[{self.low:g}, {self.high:g}]"
+
+
+@dataclass(frozen=True)
+class FeatureDomain:
+    """A named feature with its valid value range.
+
+    ``integer`` marks features that only take integer values (ports, flow
+    counts); sampling rounds accordingly.
+    """
+
+    name: str
+    low: float
+    high: float
+    integer: bool = False
+
+    def __post_init__(self):
+        if self.low >= self.high:
+            raise SubspaceError(f"domain for {self.name!r} is empty: [{self.low}, {self.high}]")
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.low, self.high)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        values = rng.uniform(self.low, self.high, size=n)
+        return np.round(values) if self.integer else values

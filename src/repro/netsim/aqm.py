@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 
 from ..exceptions import EmulationError
+from ..rng import check_random_state
 from .packet import Packet
 
 __all__ = ["QueueDiscipline", "DropTail", "RED", "CoDel", "make_discipline"]
@@ -74,13 +75,11 @@ class RED(QueueDiscipline):
             raise EmulationError(f"max_probability must be in (0, 1], got {max_probability}")
         if not 0.0 < weight <= 1.0:
             raise EmulationError(f"weight must be in (0, 1], got {weight}")
-        import numpy as np
-
         self.min_threshold = min_threshold
         self.max_threshold = max_threshold
         self.max_probability = max_probability
         self.weight = weight
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = check_random_state(rng)
         self.reset()
 
     def reset(self) -> None:

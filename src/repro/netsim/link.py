@@ -15,6 +15,7 @@ from typing import Callable
 import numpy as np
 
 from ..exceptions import EmulationError
+from ..rng import check_random_state
 from .events import Simulator
 from .packet import Packet
 
@@ -66,7 +67,7 @@ class BottleneckLink:
         self.one_way_delay = one_way_delay
         self.queue_capacity = queue_capacity
         self.loss_rate = loss_rate
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = check_random_state(rng)
         # Imported here to avoid a module cycle (aqm uses Packet from this
         # package); DropTail is the classic default.
         from .aqm import DropTail

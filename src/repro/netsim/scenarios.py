@@ -14,8 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.subspace import FeatureDomain
 from ..exceptions import ValidationError
+from ..featurespace import FeatureDomain
 from ..rng import RandomState, check_random_state
 from .packet import NetworkScenario
 

@@ -12,6 +12,8 @@ independent, reproducible streams.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from .exceptions import ValidationError
@@ -19,6 +21,11 @@ from .exceptions import ValidationError
 RandomState = None | int | np.random.Generator
 
 __all__ = ["RandomState", "check_random_state", "spawn"]
+
+# One-time latch for the nondeterminism warning below.  Process-global on
+# purpose: the point is a single audible nudge per run, not a warning storm
+# from every estimator constructed with the default random_state.
+_warned_nondeterministic_seed = False
 
 
 def check_random_state(random_state: RandomState) -> np.random.Generator:
@@ -29,8 +36,23 @@ def check_random_state(random_state: RandomState) -> np.random.Generator:
     random_state:
         ``None`` for nondeterministic seeding, an ``int`` seed, or an
         existing ``Generator`` (returned unchanged).
+
+    .. warning::
+       ``None`` draws entropy from the OS, so two runs will not agree —
+       a benchmark seeded this way cannot back a reported number.  The
+       first such call in a process emits a :class:`UserWarning`.
     """
     if random_state is None:
+        global _warned_nondeterministic_seed
+        if not _warned_nondeterministic_seed:
+            _warned_nondeterministic_seed = True
+            warnings.warn(
+                "check_random_state(None) returns a nondeterministically seeded "
+                "generator; results will differ between runs. Pass an int seed or "
+                "a numpy Generator for reproducible benchmarks.",
+                UserWarning,
+                stacklevel=2,
+            )
         return np.random.default_rng()
     if isinstance(random_state, np.random.Generator):
         return random_state

@@ -44,7 +44,10 @@ class TestSuccessiveHalving:
         with pytest.raises(ValidationError):
             SuccessiveHalvingSearch(min_resource_fraction=0.0)
         with pytest.raises(SearchBudgetError):
-            SuccessiveHalvingSearch(time_budget=0.0)
+            SuccessiveHalvingSearch(time_budget=-1.0)
+        # time_budget=0 is a valid configuration ("no search iterations");
+        # see tests/test_automl_budget.py for the run-time contract.
+        SuccessiveHalvingSearch(time_budget=0.0)
 
     def test_multiclass(self, blobs_3class):
         X, y = blobs_3class

@@ -1,0 +1,32 @@
+"""Tier-1 gate: the shipped tree is reprolint-clean.
+
+Runs the full rule set programmatically over ``src/repro`` with the real
+``[tool.reprolint]`` configuration from ``pyproject.toml`` and asserts
+zero findings — the repo stays lint-clean without any external CI
+infrastructure.
+"""
+
+from pathlib import Path
+
+from repro.devtools import LintEngine, load_config, registered_rules
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PYPROJECT = REPO_ROOT / "pyproject.toml"
+
+
+class TestLintClean:
+    def test_src_tree_has_zero_findings(self):
+        config = load_config(PYPROJECT)
+        engine = LintEngine(config)
+        findings = engine.lint_paths([REPO_ROOT / "src" / "repro"], root=REPO_ROOT)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_gate_runs_all_rules(self):
+        """The clean-run gate must not pass because rules were disabled."""
+        config = load_config(PYPROJECT)
+        enabled = [cls.id for cls in registered_rules() if config.rule_enabled(cls.id)]
+        assert enabled == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+
+    def test_pyproject_table_present(self):
+        text = PYPROJECT.read_text(encoding="utf-8")
+        assert "[tool.reprolint]" in text

@@ -1,8 +1,11 @@
 """Tests for repro.rng."""
 
+import warnings
+
 import numpy as np
 import pytest
 
+import repro.rng
 from repro.exceptions import ValidationError
 from repro.rng import check_random_state, spawn
 
@@ -10,6 +13,33 @@ from repro.rng import check_random_state, spawn
 class TestCheckRandomState:
     def test_none_returns_generator(self):
         assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_none_warns_once_about_nondeterminism(self, monkeypatch):
+        """The normalization contract: None = fresh OS entropy, loudly.
+
+        The first ``check_random_state(None)`` of a process must warn that
+        the run is not reproducible; later calls stay silent so library
+        internals with ``random_state=None`` defaults cannot cause a storm.
+        """
+        monkeypatch.setattr(repro.rng, "_warned_nondeterministic_seed", False)
+        with pytest.warns(UserWarning, match="nondeterministically seeded"):
+            check_random_state(None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            check_random_state(None)  # latched: no second warning
+
+    def test_int_and_generator_never_warn(self, monkeypatch):
+        monkeypatch.setattr(repro.rng, "_warned_nondeterministic_seed", False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            check_random_state(7)
+            check_random_state(np.random.default_rng(7))
+
+    def test_none_generators_are_independent(self, monkeypatch):
+        monkeypatch.setattr(repro.rng, "_warned_nondeterministic_seed", True)
+        draws_a = check_random_state(None).integers(0, 2**62, size=4)
+        draws_b = check_random_state(None).integers(0, 2**62, size=4)
+        assert not np.array_equal(draws_a, draws_b)
 
     def test_int_seed_is_reproducible(self):
         a = check_random_state(5).integers(0, 1000, size=10)
