@@ -1,0 +1,145 @@
+"""Benchmark the ``repro.runtime`` execution engine on cross-ALE fits.
+
+Times the ISSUE-3 workload — a cross-ALE committee of independent AutoML
+fits — under every execution regime the runtime offers:
+
+- ``serial``       — ``SerialExecutor``, no cache (the pre-runtime path);
+- ``process_2/4``  — ``ProcessExecutor`` with 2 and 4 workers, no cache;
+- ``cache_cold``   — serial with an empty artifact cache (store overhead);
+- ``cache_warm``   — the same cache again (every fit answered from disk).
+
+Every regime must produce bitwise-identical committees (checked via
+predictions on the training grid); the warm rerun must execute zero
+AutoML fits.  Results, timings, and speedups land in ``BENCH_runtime.json``
+— including ``cpu_count``, because process-pool speedups are physically
+bounded by the cores actually present.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_runtime.py``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.automl import AutoMLSpec
+from repro.datasets import generate_scream_dataset
+from repro.ml.metrics import accuracy
+from repro.rng import check_random_state, spawn_seeds
+from repro.runtime import (
+    ArtifactCache,
+    ProcessExecutor,
+    SerialExecutor,
+    Task,
+    TaskRuntime,
+)
+from repro.runtime.clock import Stopwatch
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def build_tasks(args) -> tuple[list[Task], np.ndarray]:
+    dataset = generate_scream_dataset(args.n_samples, random_state=args.seed)
+    spec = AutoMLSpec(
+        n_iterations=args.iterations,
+        ensemble_size=args.ensemble_size,
+        min_distinct_members=2,
+        scorer=accuracy,
+    )
+    seeds = spawn_seeds(check_random_state(args.seed + 1), args.cross_runs)
+    tasks = [
+        Task(
+            fn_name="automl.fit",
+            payload={"factory": spec, "X": dataset.X, "y": dataset.y},
+            seed_path=(seed,),
+            label=f"cross-run[{index}]",
+        )
+        for index, seed in enumerate(seeds)
+    ]
+    return tasks, dataset.X
+
+
+def run_regime(name: str, runtime: TaskRuntime, tasks, X) -> tuple[float, list]:
+    watch = Stopwatch()
+    committees = runtime.run(tasks)
+    seconds = watch.elapsed()
+    fingerprints = [model.predict(X) for model in committees]
+    print(
+        f"{name:12s} {seconds:8.2f}s  "
+        f"executed={runtime.stats['executed']} cache_hits={runtime.stats['cache_hits']}"
+    )
+    return seconds, fingerprints
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-samples", type=int, default=200, help="scream dataset size")
+    parser.add_argument("--cross-runs", type=int, default=6, help="committee size (independent fits)")
+    parser.add_argument("--iterations", type=int, default=8, help="AutoML candidates per fit")
+    parser.add_argument("--ensemble-size", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=20211110)
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_runtime.json", help="result file"
+    )
+    args = parser.parse_args(argv)
+
+    tasks, X = build_tasks(args)
+    print(f"workload: {len(tasks)} cross-ALE AutoML fits, {os.cpu_count()} CPU core(s)\n")
+
+    timings: dict[str, float] = {}
+    cache_dir = Path(tempfile.mkdtemp(prefix="bench-runtime-cache-"))
+    try:
+        regimes = {
+            "serial": TaskRuntime(SerialExecutor()),
+            "process_2": TaskRuntime(ProcessExecutor(max_workers=2)),
+            "process_4": TaskRuntime(ProcessExecutor(max_workers=4)),
+            "cache_cold": TaskRuntime(SerialExecutor(), cache=ArtifactCache(cache_dir)),
+            "cache_warm": TaskRuntime(SerialExecutor(), cache=ArtifactCache(cache_dir)),
+        }
+        fingerprints: dict[str, list] = {}
+        for name, runtime in regimes.items():
+            timings[name], fingerprints[name] = run_regime(name, runtime, tasks, X)
+        warm_fits = regimes["cache_warm"].executions_of("automl.fit")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    reference = fingerprints["serial"]
+    bitwise_identical = all(
+        all(np.array_equal(a, b) for a, b in zip(reference, prints))
+        for prints in fingerprints.values()
+    )
+    assert bitwise_identical, "executors disagree — the determinism contract is broken"
+    assert warm_fits == 0, f"cache-warm rerun executed {warm_fits} AutoML fits, expected 0"
+
+    results = {
+        "workload": {
+            "n_samples": args.n_samples,
+            "cross_runs": args.cross_runs,
+            "automl_iterations": args.iterations,
+            "ensemble_size": args.ensemble_size,
+            "seed": args.seed,
+        },
+        "cpu_count": os.cpu_count(),
+        "timings_seconds": {name: round(seconds, 4) for name, seconds in timings.items()},
+        "speedups_vs_serial": {
+            name: round(timings["serial"] / seconds, 2)
+            for name, seconds in timings.items()
+            if name != "serial"
+        },
+        "cache_warm_automl_fits": warm_fits,
+        "bitwise_identical": bitwise_identical,
+    }
+    args.output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(f"\nspeedups vs serial: {results['speedups_vs_serial']}")
+    print(f"results written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

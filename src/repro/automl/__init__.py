@@ -9,6 +9,7 @@ preserved: :class:`AutoMLClassifier` exposes its fitted members via
 
 from .automl import AutoMLClassifier
 from .ensemble import EnsembleClassifier, greedy_ensemble_selection
+from .spec import AutoMLSpec
 from .halving import SuccessiveHalvingSearch
 from .meta import MetaLearningStore, MetaRecord, WarmStartSearch, compute_meta_features
 from .pipeline import Pipeline
@@ -25,6 +26,7 @@ from .spaces import (
 
 __all__ = [
     "AutoMLClassifier",
+    "AutoMLSpec",
     "EnsembleClassifier",
     "greedy_ensemble_selection",
     "Pipeline",

@@ -9,7 +9,14 @@ table or figure without touching Python:
 - ``figure2``  — the firewall port ALE plots;
 - ``sweep``    — the §4 threshold sensitivity analysis;
 - ``emulate``  — run one network scenario through every protocol;
-- ``lint``     — run reprolint (RL001-RL005) over the source tree.
+- ``lint``     — run reprolint (RL001-RL006) over the source tree;
+- ``cache``    — inspect/clear/prune the artifact cache.
+
+``table1`` and ``ucl`` accept ``--workers N`` (AutoML fits and ALE
+profiles on N processes) and ``--cache {on,off,refresh}`` (content-
+addressed artifact cache under ``~/.cache/repro-ale``, overridable with
+``--cache-dir`` or ``$REPRO_CACHE_DIR``).  Results are bitwise-identical
+whatever the worker count or cache state.
 
 Results print to stdout; ``--output DIR`` additionally writes the JSON/CSV
 record bundle.
@@ -32,6 +39,52 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run AutoML fits / ALE profiles on N worker processes (0 = in-process serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        choices=("on", "off", "refresh"),
+        default="off",
+        help="artifact cache mode: reuse (on), ignore (off), or overwrite (refresh)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-ale)",
+    )
+
+
+def _runtime_from_args(args: argparse.Namespace):
+    """Build the TaskRuntime the flags describe, or ``None`` for the implicit path."""
+    if args.workers < 0:
+        raise SystemExit(f"--workers must be >= 0, got {args.workers}")
+    if args.workers == 0 and args.cache == "off":
+        return None
+    from .runtime import ArtifactCache, ProcessExecutor, SerialExecutor, TaskRuntime
+
+    executor = ProcessExecutor(max_workers=args.workers) if args.workers > 1 else SerialExecutor()
+    cache = ArtifactCache(args.cache_dir) if args.cache != "off" else None
+    return TaskRuntime(executor, cache=cache, cache_mode=args.cache)
+
+
+def _report_runtime(runtime) -> None:
+    if runtime is None:
+        return
+    stats = runtime.stats
+    print(
+        f"runtime: {stats['executed']} task(s) executed, "
+        f"{stats['cache_hits']} cache hit(s), {stats['cache_stores']} stored",
+        file=sys.stderr,
+    )
+
+
 def _maybe_save(record, output: Path | None) -> None:
     if output is None:
         return
@@ -49,7 +102,11 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     config = PAPER_SCALE if args.paper_scale else Table1Config()
     if args.seed is not None:
         config = replace(config, seed=args.seed)
-    table, record = run_table1(config, progress=lambda message: print(message, file=sys.stderr))
+    runtime = _runtime_from_args(args)
+    table, record = run_table1(
+        config, progress=lambda message: print(message, file=sys.stderr), runtime=runtime
+    )
+    _report_runtime(runtime)
     print(record.tables["table1"])
     _maybe_save(record, args.output)
     return 0
@@ -63,7 +120,11 @@ def _cmd_ucl(args: argparse.Namespace) -> int:
     config = PAPER_SCALE_UCL if args.paper_scale else UCLConfig()
     if args.seed is not None:
         config = replace(config, seed=args.seed)
-    table, record = run_ucl(config, progress=lambda message: print(message, file=sys.stderr))
+    runtime = _runtime_from_args(args)
+    table, record = run_ucl(
+        config, progress=lambda message: print(message, file=sys.stderr), runtime=runtime
+    )
+    _report_runtime(runtime)
     print(record.tables["ucl"])
     for name in ("within_ale_pool", "cross_ale_pool"):
         print(f"P(no_feedback, {name}) = {table.p_value('no_feedback', name):.3g}")
@@ -128,6 +189,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .runtime import ArtifactCache
+
+    cache = ArtifactCache(args.dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entrie(s) from {cache.directory}")
+        return 0
+    if args.action == "prune":
+        if args.max_mb is None:
+            print("cache prune requires --max-mb", file=sys.stderr)
+            return 2
+        evicted = cache.prune(int(args.max_mb * 1024 * 1024))
+        print(f"evicted {evicted} entrie(s) from {cache.directory}")
+        return 0
+    info = cache.info()
+    print(f"directory:   {info['directory']}")
+    print(f"entries:     {info['entries']}")
+    print(f"total bytes: {info['total_bytes']} ({info['total_bytes'] / 1024 / 1024:.1f} MiB)")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .devtools.cli import run_lint
 
@@ -173,7 +256,17 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         sub = subparsers.add_parser(name, help=help_text)
         _add_common(sub)
+        if name in ("table1", "ucl"):
+            _add_runtime_options(sub)
         sub.set_defaults(handler=handler)
+
+    cache = subparsers.add_parser("cache", help="inspect/clear/prune the artifact cache")
+    cache.add_argument(
+        "action", choices=("info", "clear", "prune"), nargs="?", default="info"
+    )
+    cache.add_argument("--dir", type=Path, default=None, help="cache directory override")
+    cache.add_argument("--max-mb", type=float, default=None, help="prune target size in MiB")
+    cache.set_defaults(handler=_cmd_cache)
 
     emulate = subparsers.add_parser("emulate", help="run one scenario through every protocol")
     emulate.add_argument("--bandwidth", type=float, default=20.0, help="bottleneck Mbps")
@@ -186,7 +279,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     from .devtools.cli import add_lint_arguments
 
-    lint = subparsers.add_parser("lint", help="check code invariants (rules RL001-RL005)")
+    lint = subparsers.add_parser("lint", help="check code invariants (rules RL001-RL006)")
     add_lint_arguments(lint)
     lint.set_defaults(handler=_cmd_lint)
 

@@ -230,6 +230,13 @@ class AleFeedback:
         How per-class disagreement collapses to one value per grid point:
         ``'max'`` (default; a feature is confusing if any class is) or
         ``'mean'``.
+    task_mapper:
+        Optional callable ``(fn_name, payloads) -> results`` the
+        per-feature committee curve computation is submitted through —
+        in practice :meth:`repro.runtime.TaskRuntime.named_map`, which
+        parallelizes and caches it.  Kept duck-typed on purpose: ``core``
+        sits below ``runtime`` in the import DAG, so the runtime is
+        injected, never imported.  ``None`` computes inline.
     """
 
     def __init__(
@@ -241,6 +248,7 @@ class AleFeedback:
         class_aggregation: str = "max",
         interpreter: str = "ale",
         threshold_scale: float = 1.0,
+        task_mapper=None,
     ):
         if threshold is not None and threshold < 0:
             raise ValidationError(f"threshold must be >= 0, got {threshold}")
@@ -256,6 +264,7 @@ class AleFeedback:
         self.class_aggregation = class_aggregation
         self.interpreter = interpreter
         self.threshold_scale = threshold_scale
+        self.task_mapper = task_mapper
 
     def analyze(
         self,
@@ -282,20 +291,19 @@ class AleFeedback:
         if len(domains) != X.shape[1]:
             raise ValidationError(f"{len(domains)} domains for {X.shape[1]} features")
 
-        profiles: list[FeatureDisagreement] = []
-        for index, domain in enumerate(domains):
-            edges = make_grid(
+        all_edges = [
+            make_grid(
                 X[:, index],
                 grid_size=self.grid_size,
                 strategy=self.grid_strategy,
                 domain=(domain.low, domain.high),
             )
-            if self.interpreter == "pdp":
-                from .pdp import pdp_curves_for_models
-
-                curves = pdp_curves_for_models(committee, X, index, edges, feature_name=domain.name)
-            else:
-                curves = ale_curves_for_models(committee, X, index, edges, feature_name=domain.name)
+            for index, domain in enumerate(domains)
+        ]
+        curves_per_feature = self._committee_curves(committee, X, domains, all_edges)
+        profiles: list[FeatureDisagreement] = []
+        for index, domain in enumerate(domains):
+            edges, curves = all_edges[index], curves_per_feature[index]
             stacked = np.stack([curve.values for curve in curves])  # (models, K, classes)
             std_by_class = stacked.std(axis=0)
             if self.class_aggregation == "max":
@@ -329,6 +337,37 @@ class AleFeedback:
             committee_size=len(committee),
             domains=domains,
         )
+
+    def _committee_curves(self, committee, X, domains, all_edges) -> list:
+        """Per-feature committee curves, via the task mapper when one is set.
+
+        Each feature's curve computation is independent of the others, so
+        with a mapper the features fan out as ``ale.profile`` tasks; the
+        inline path computes the identical thing in feature order.
+        """
+        if self.task_mapper is not None:
+            payloads = [
+                {
+                    "committee": committee,
+                    "X": X,
+                    "feature_index": index,
+                    "edges": all_edges[index],
+                    "feature_name": domain.name,
+                    "interpreter": self.interpreter,
+                }
+                for index, domain in enumerate(domains)
+            ]
+            return list(self.task_mapper("ale.profile", payloads))
+        if self.interpreter == "pdp":
+            from .pdp import pdp_curves_for_models
+
+            compute = pdp_curves_for_models
+        else:
+            compute = ale_curves_for_models
+        return [
+            compute(committee, X, index, all_edges[index], feature_name=domain.name)
+            for index, domain in enumerate(domains)
+        ]
 
 
 def within_ale_committee(automl) -> list:

@@ -44,6 +44,7 @@ DEFAULT_LAYERS: dict[str, list[str] | str] = {
     "netsim": ["featurespace", "rng", "exceptions"],
     "core": ["featurespace", "ml", "rng", "exceptions"],
     "automl": ["ml", "rng", "exceptions"],
+    "runtime": ["automl", "core", "featurespace", "ml", "rng", "exceptions"],
     "active": ["core", "featurespace", "ml", "rng", "exceptions"],
     "datasets": ["core", "featurespace", "ml", "netsim", "rng", "exceptions"],
     "domain": ["automl", "core", "featurespace", "ml", "rng", "exceptions"],
@@ -61,11 +62,11 @@ DEFAULT_ALLOW: dict[str, list[str]] = {
     # repro.rng is the one module allowed to construct generators.
     "RL001": ["repro/rng.py"],
     # Budget-owning modules: the searches meter their own wall clock and
-    # the experiment runner stamps fit durations.
+    # the runtime clock owns every timeout/duration the executors need.
     "RL004": [
         "repro/automl/search.py",
         "repro/automl/halving.py",
-        "repro/experiments/runner.py",
+        "repro/runtime/clock.py",
     ],
 }
 

@@ -1,4 +1,4 @@
-"""The concrete reprolint rules, RL001–RL005.
+"""The concrete reprolint rules, RL001–RL006.
 
 Each rule enforces one invariant the reproduction's correctness argument
 rests on (see DESIGN.md §3 and README "Code invariants & reprolint"):
@@ -14,6 +14,9 @@ rests on (see DESIGN.md §3 and README "Code invariants & reprolint"):
 - RL004 — wall-clock reads live only in budget-owning modules; anywhere
   else they smuggle nondeterminism into supposedly pure computations.
 - RL005 — no mutable default arguments, no bare ``except:``.
+- RL006 — numpydoc ``Parameters`` sections must not name arguments the
+  signature no longer has; stale parameter docs teach callers an API
+  that does not exist.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ __all__ = [
     "EstimatorContractRule",
     "WallClockRule",
     "FootgunRule",
+    "DocstringDriftRule",
 ]
 
 # -- RL001 -------------------------------------------------------------------
@@ -362,3 +366,98 @@ def _is_mutable_literal(node: ast.expr) -> bool:
     if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
         return node.func.id in {"list", "dict", "set", "bytearray"} and not node.args and not node.keywords
     return False
+
+
+# -- RL006 -------------------------------------------------------------------
+
+
+@register
+class DocstringDriftRule(Rule):
+    """RL006: numpydoc ``Parameters`` sections must match the signature.
+
+    Parses the ``Parameters`` section of every function and class
+    docstring (a class documents its own ``__init__``) and flags each
+    documented name the signature does not accept — the drift left behind
+    when a parameter is renamed or removed but its docs are not.
+
+    Deliberately one-directional: *undocumented* parameters are fine
+    (docstrings may describe only the interesting arguments), and any
+    callable taking ``**kwargs`` is skipped entirely because it can
+    absorb any documented name.
+    """
+
+    id = "RL006"
+    name = "docstring-drift"
+    description = "numpydoc Parameters sections must not name arguments the signature lacks"
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from self._check(node, node, f"function '{node.name}'", ctx)
+        elif isinstance(node, ast.ClassDef):
+            init = _own_methods(node).get("__init__")
+            if init is None:
+                return  # inherited/generated __init__: signature unknown statically
+            yield from self._check(node, init, f"class '{node.name}'", ctx)
+
+    def _check(
+        self, doc_owner: ast.AST, signature: ast.FunctionDef, what: str, ctx: FileContext
+    ) -> Iterable[Finding]:
+        docstring = ast.get_docstring(doc_owner)
+        if not docstring:
+            return
+        args = signature.args
+        if args.kwarg is not None:
+            return  # **kwargs absorbs any documented name
+        accepted = {a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)}
+        if args.vararg is not None:
+            accepted.add(args.vararg.arg)
+        for name in _documented_parameters(docstring):
+            if name not in accepted:
+                yield self.finding(
+                    ctx,
+                    doc_owner,
+                    f"{what} documents parameter '{name}' but its signature does not accept it",
+                )
+
+
+def _documented_parameters(docstring: str) -> list[str]:
+    """Parameter names a numpydoc ``Parameters`` section declares.
+
+    Entry lines sit at the section's base indentation as ``name : type``
+    (type optional, names possibly comma-separated); deeper-indented lines
+    are descriptions.  The section ends at the next underlined header.
+    ``ast.get_docstring`` has already dedented the text uniformly.
+    """
+    lines = docstring.splitlines()
+    start = None
+    for index in range(len(lines) - 1):
+        if lines[index].strip() == "Parameters" and _is_underline(lines[index + 1]):
+            start = index
+            break
+    if start is None:
+        return []
+    base_indent = _indent_of(lines[start])
+    names: list[str] = []
+    for index in range(start + 2, len(lines)):
+        line = lines[index]
+        if not line.strip():
+            continue
+        if _indent_of(line) > base_indent:
+            continue  # description text under the previous entry
+        if index + 1 < len(lines) and _is_underline(lines[index + 1]):
+            break  # next section header (Returns, Raises, ...)
+        head = line.strip().split(":", 1)[0]
+        for token in head.split(","):
+            token = token.strip().lstrip("*")
+            if token.isidentifier():
+                names.append(token)
+    return names
+
+
+def _is_underline(line: str) -> bool:
+    stripped = line.strip()
+    return bool(stripped) and set(stripped) == {"-"}
+
+
+def _indent_of(line: str) -> int:
+    return len(line) - len(line.lstrip())

@@ -24,7 +24,8 @@ from ..core.feedback import AleFeedback, cross_ale_committee, within_ale_committ
 from ..datasets.scream import LabeledDataset
 from ..exceptions import ValidationError
 from ..ml.metrics import balanced_accuracy
-from ..rng import RandomState, check_random_state, spawn
+from ..rng import RandomState, check_random_state, spawn_seeds
+from ..runtime import Task, TaskRuntime, default_runtime
 
 __all__ = [
     "AugmentationContext",
@@ -38,7 +39,16 @@ __all__ = [
 
 @dataclass
 class AugmentationContext:
-    """Everything a Table-1 strategy may use to build its augmented data."""
+    """Everything a Table-1 strategy may use to build its augmented data.
+
+    ``runtime`` is the :class:`~repro.runtime.TaskRuntime` every AutoML
+    fit is submitted through; ``None`` means the implicit serial,
+    uncached runtime.  With a :class:`~repro.runtime.ProcessExecutor`
+    behind it the Cross-ALE committee fits run in parallel, and with a
+    cache attached identical fits are answered from disk — bitwise the
+    same results either way, because every fit's randomness is a seed
+    drawn *before* submission.
+    """
 
     train: LabeledDataset
     pool: LabeledDataset
@@ -49,6 +59,7 @@ class AugmentationContext:
     feedback: AleFeedback
     cross_runs: int
     rng: np.random.Generator
+    runtime: TaskRuntime | None = None
 
     def label(self, X_new: np.ndarray) -> np.ndarray:
         if self.oracle is None:
@@ -58,12 +69,37 @@ class AugmentationContext:
             )
         return self.oracle(X_new)
 
+    def submit_fits(self, datasets: Sequence[tuple[np.ndarray, np.ndarray]], seeds: Sequence[int], label: str) -> list:
+        """Run ``automl.fit`` tasks for ``(X, y)`` pairs through the runtime.
+
+        The seeds must already be drawn (so submission order cannot touch
+        any shared stream); each task's generator is rebuilt from its own
+        seed path wherever the task lands.
+        """
+        runtime = self.runtime if self.runtime is not None else default_runtime()
+        tasks = [
+            Task(
+                fn_name="automl.fit",
+                payload={"factory": self.automl_factory, "X": X, "y": y},
+                seed_path=(seed,),
+                label=f"{label}[{index}]",
+            )
+            for index, ((X, y), seed) in enumerate(zip(datasets, seeds))
+        ]
+        return runtime.run(tasks)
+
     def fit_cross_runs(self) -> list[AutoMLClassifier]:
-        """The extra AutoML runs Cross-ALE needs (initial run reused)."""
-        runs = [self.initial_automl]
-        for child in spawn(self.rng, self.cross_runs - 1):
-            runs.append(self.automl_factory(child).fit(self.train.X, self.train.y))
-        return runs
+        """The extra AutoML runs Cross-ALE needs (initial run reused).
+
+        Seeds are drawn from ``self.rng`` up front — the identical stream
+        consumption :func:`repro.rng.spawn` would perform — then the fits
+        themselves go through the runtime, serial or parallel alike.
+        """
+        seeds = spawn_seeds(self.rng, self.cross_runs - 1)
+        extra = self.submit_fits(
+            [(self.train.X, self.train.y)] * len(seeds), seeds, label="cross-run"
+        )
+        return [self.initial_automl, *extra]
 
 
 @dataclass
@@ -117,6 +153,7 @@ def _analyze_with_fallback(ctx: AugmentationContext, committee) -> "FeedbackRepo
             grid_strategy=ctx.feedback.grid_strategy,
             class_aggregation=ctx.feedback.class_aggregation,
             interpreter=ctx.feedback.interpreter,
+            task_mapper=ctx.feedback.task_mapper,
         )
         report = relaxed.analyze(committee, ctx.train.X, ctx.train.domains)
     return report
@@ -230,6 +267,27 @@ def evaluate_on_test_sets(model, test_sets: Sequence[LabeledDataset]) -> list[fl
     return [balanced_accuracy(t.y, model.predict(t.X)) for t in test_sets]
 
 
+def _training_set_unchanged(result: AugmentationResult, ctx: AugmentationContext) -> bool:
+    """True when the strategy left the training data exactly as it was.
+
+    Pool strategies legitimately return ``points_added == 0`` when the
+    feedback region captures no pool point; refitting on an identical
+    training set would only burn an AutoML run to reproduce (a reseeded
+    twin of) ``ctx.initial_automl``.  Content is compared, not identity:
+    ``extended`` with zero rows and a no-op oversample both build fresh
+    objects around the same data.
+    """
+    if result.points_added != 0:
+        return False
+    if result.train is ctx.train:
+        return True
+    return (
+        result.train.n_samples == ctx.train.n_samples
+        and np.array_equal(result.train.X, ctx.train.X)
+        and np.array_equal(result.train.y, ctx.train.y)
+    )
+
+
 def run_strategy(
     name: str,
     ctx: AugmentationContext,
@@ -237,16 +295,24 @@ def run_strategy(
     *,
     random_state: RandomState = None,
 ) -> tuple[list[float], AugmentationResult]:
-    """Execute one strategy end-to-end: augment, refit AutoML, score."""
+    """Execute one strategy end-to-end: augment, refit AutoML, score.
+
+    The refit is an ``automl.fit`` task on the context's runtime, seeded
+    by one :func:`~repro.rng.spawn_seeds` draw from ``random_state`` — so
+    a parallel or cached run scores identically to a serial one.  When
+    the strategy did not change the training set at all, the refit is
+    skipped and ``ctx.initial_automl`` (already a model of exactly that
+    data) is scored instead.
+    """
     try:
         fn = STRATEGIES[name]
     except KeyError:
         raise ValidationError(f"unknown strategy {name!r}; have {sorted(STRATEGIES)}") from None
     result = fn(ctx)
-    rng = check_random_state(random_state)
-    if result.points_added == 0 and name == "no_feedback":
-        # The initial model already reflects the raw training data.
+    if _training_set_unchanged(result, ctx):
         model = ctx.initial_automl
     else:
-        model = ctx.automl_factory(rng).fit(result.train.X, result.train.y)
+        rng = check_random_state(random_state)
+        [seed] = spawn_seeds(rng, 1)
+        [model] = ctx.submit_fits([(result.train.X, result.train.y)], [seed], label=f"refit-{name}")
     return evaluate_on_test_sets(model, test_sets), result

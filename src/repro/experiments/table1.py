@@ -15,13 +15,14 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from ..automl.automl import AutoMLClassifier
+from ..automl.spec import AutoMLSpec
 from ..core.feedback import AleFeedback
 from ..datasets.scream import LabeledDataset, ScreamOracle, generate_scream_dataset
 from ..datasets.splits import make_test_sets
 from ..exceptions import ValidationError
 from ..ml.metrics import accuracy
 from ..rng import check_random_state, spawn
+from ..runtime import TaskRuntime
 from ..stats.significance import AlgorithmScores, SignificanceTable
 from .records import ExperimentRecord, scores_to_csv
 from .runner import AugmentationContext, STRATEGIES, run_strategy
@@ -124,10 +125,15 @@ def run_table1(
     *,
     algorithms: list[str] | None = None,
     progress=None,
+    runtime: TaskRuntime | None = None,
 ) -> tuple[SignificanceTable, ExperimentRecord]:
     """Run the Table 1 experiment and return the significance table.
 
     ``progress`` is an optional callable receiving status strings.
+    ``runtime`` routes every AutoML fit and ALE profile through a
+    :class:`~repro.runtime.TaskRuntime` (parallel executors, artifact
+    cache); ``None`` keeps the implicit serial, uncached path.  Results
+    are bitwise-identical either way.
     """
     config.validate()
     algorithms = list(algorithms) if algorithms is not None else list(TABLE1_ALGORITHMS)
@@ -151,18 +157,17 @@ def run_table1(
         pool = eval_dataset.subset(order[config.n_test :])
         test_sets = make_test_sets(test, config.n_test_sets, random_state=repeat_rng)
 
-        def automl_factory(rng) -> AutoMLClassifier:
-            # Internal search/selection metric is plain accuracy — the
-            # AutoSklearn default the paper ran with.  Evaluation is
-            # balanced accuracy, so label imbalance hurts exactly the way
-            # Table 1 shows (uniform extra data can hurt; upsampling wins).
-            return AutoMLClassifier(
-                n_iterations=config.automl_iterations,
-                ensemble_size=config.ensemble_size,
-                min_distinct_members=config.min_distinct_members,
-                scorer=accuracy,
-                random_state=rng,
-            )
+        # Internal search/selection metric is plain accuracy — the
+        # AutoSklearn default the paper ran with.  Evaluation is
+        # balanced accuracy, so label imbalance hurts exactly the way
+        # Table 1 shows (uniform extra data can hurt; upsampling wins).
+        # A spec, not a closure, so fits can cross the process boundary.
+        automl_factory = AutoMLSpec(
+            n_iterations=config.automl_iterations,
+            ensemble_size=config.ensemble_size,
+            min_distinct_members=config.min_distinct_members,
+            scorer=accuracy,
+        )
 
         initial = automl_factory(repeat_rng).fit(train.X, train.y)
         ctx = AugmentationContext(
@@ -176,9 +181,11 @@ def run_table1(
                 threshold=config.threshold,
                 threshold_scale=config.threshold_scale,
                 grid_size=config.grid_size,
+                task_mapper=runtime.named_map if runtime is not None else None,
             ),
             cross_runs=config.cross_runs,
             rng=repeat_rng,
+            runtime=runtime,
         )
         for name in algorithms:
             scores, result = run_strategy(name, ctx, test_sets, random_state=repeat_rng)

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..automl.automl import AutoMLClassifier
+from ..automl.spec import AutoMLSpec
 from ..core.feedback import AleFeedback
 from ..datasets.firewall import generate_firewall_dataset
 from ..datasets.scream import LabeledDataset
@@ -25,6 +25,7 @@ from ..datasets.splits import split_train_test_pool
 from ..exceptions import ValidationError
 from ..ml.metrics import accuracy
 from ..rng import check_random_state, spawn
+from ..runtime import TaskRuntime
 from ..stats.significance import AlgorithmScores, SignificanceTable
 from .records import ExperimentRecord, scores_to_csv
 from .runner import AugmentationContext, STRATEGIES, run_strategy
@@ -91,8 +92,13 @@ def run_ucl(
     *,
     algorithms: list[str] | None = None,
     progress=None,
+    runtime: TaskRuntime | None = None,
 ) -> tuple[SignificanceTable, ExperimentRecord]:
-    """Run the firewall experiment across re-splits; returns the table."""
+    """Run the firewall experiment across re-splits; returns the table.
+
+    ``runtime`` routes AutoML fits and ALE profiles through a
+    :class:`~repro.runtime.TaskRuntime`; ``None`` means serial, uncached.
+    """
     config.validate()
     algorithms = list(algorithms) if algorithms is not None else list(UCL_ALGORITHMS)
     unknown = set(algorithms) - set(STRATEGIES)
@@ -114,16 +120,15 @@ def run_ucl(
             random_state=resplit_rng,
         )
 
-        def automl_factory(rng) -> AutoMLClassifier:
-            # Plain accuracy inside AutoML (the AutoSklearn default),
-            # balanced accuracy for evaluation — the paper's combination.
-            return AutoMLClassifier(
-                n_iterations=config.automl_iterations,
-                ensemble_size=config.ensemble_size,
-                min_distinct_members=config.min_distinct_members,
-                scorer=accuracy,
-                random_state=rng,
-            )
+        # Plain accuracy inside AutoML (the AutoSklearn default),
+        # balanced accuracy for evaluation — the paper's combination.
+        # A spec, not a closure, so fits can cross the process boundary.
+        automl_factory = AutoMLSpec(
+            n_iterations=config.automl_iterations,
+            ensemble_size=config.ensemble_size,
+            min_distinct_members=config.min_distinct_members,
+            scorer=accuracy,
+        )
 
         initial = automl_factory(resplit_rng).fit(bundle.train.X, bundle.train.y)
         ctx = AugmentationContext(
@@ -133,9 +138,14 @@ def run_ucl(
             initial_automl=initial,
             automl_factory=automl_factory,
             n_feedback=config.n_feedback,
-            feedback=AleFeedback(threshold=config.threshold, grid_size=config.grid_size),
+            feedback=AleFeedback(
+                threshold=config.threshold,
+                grid_size=config.grid_size,
+                task_mapper=runtime.named_map if runtime is not None else None,
+            ),
             cross_runs=config.cross_runs,
             rng=resplit_rng,
+            runtime=runtime,
         )
         for name in algorithms:
             scores, result = run_strategy(name, ctx, bundle.test_sets, random_state=resplit_rng)

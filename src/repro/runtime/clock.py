@@ -1,0 +1,49 @@
+"""The runtime's single budget-owning clock (RL004 boundary).
+
+Wall-clock reads make results depend on machine speed, so reprolint rule
+RL004 confines them to modules that *own a time budget*.  The runtime
+needs exactly two clock-shaped things — per-task timeouts and benchmark
+durations — and both are budget logic, so they live behind this one
+module's tiny surface instead of scattering ``time.monotonic()`` calls
+through the executors.  Nothing here may influence a task's *result*;
+timeouts abort work, they never change what completed work computes.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic", "Stopwatch", "Deadline"]
+
+
+def monotonic() -> float:
+    """Monotonic seconds; the only clock the runtime reads."""
+    return time.monotonic()
+
+
+class Stopwatch:
+    """Measure an elapsed duration (executor bookkeeping, benchmarks)."""
+
+    def __init__(self) -> None:
+        self._start = monotonic()
+
+    def elapsed(self) -> float:
+        return monotonic() - self._start
+
+
+class Deadline:
+    """A per-task time budget; ``None`` seconds means unbounded."""
+
+    def __init__(self, seconds: float | None) -> None:
+        self.seconds = seconds
+        self._start = monotonic()
+
+    def remaining(self) -> float | None:
+        """Seconds left, or ``None`` when unbounded; never below zero."""
+        if self.seconds is None:
+            return None
+        return max(0.0, self.seconds - (monotonic() - self._start))
+
+    def exceeded(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0

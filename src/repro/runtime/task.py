@@ -1,0 +1,152 @@
+"""The runtime's unit of work: a :class:`Task` plus a function registry.
+
+A task is *plain data*: the name of a registered function, a picklable
+payload, and a :data:`~repro.rng.SeedPath` addressing the random stream it
+may draw from.  Nothing about a task depends on where or when it runs —
+that is the whole determinism contract.  Executors ship ``(fn_name,
+payload, seed_path, attempt)`` tuples across process boundaries; the
+worker resolves ``fn_name`` against the registry (every worker imports
+:mod:`repro.runtime.tasks`, which registers the built-ins) and materializes
+the generator from the seed path locally.
+
+Retries extend the seed path instead of re-drawing from a parent stream:
+attempt ``k`` of a task with path ``p`` runs with ``(*p, _RETRY_KEY, k)``
+— fresh entropy, yet fully determined by the task identity, so a retried
+run and a first-try run of the same schedule still agree bitwise whenever
+they succeed on the same attempt number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from ..exceptions import ReproError
+from ..rng import SeedPath, generator_from_path
+
+__all__ = [
+    "Task",
+    "TaskContext",
+    "TaskError",
+    "TaskTimeoutError",
+    "task",
+    "resolve_task",
+    "registered_tasks",
+    "execute_attempt",
+]
+
+#: Spawn-key dimension reserved for retry streams.  Any value would do —
+#: it only has to be fixed so retry seeds are reproducible — but a
+#: recognizable constant ("RETR" in ASCII) makes paths self-describing.
+_RETRY_KEY = 0x52455452
+
+
+class TaskError(ReproError):
+    """A task failed on every allowed attempt."""
+
+    def __init__(self, message: str, *, task_label: str = "", attempts: int = 0):
+        super().__init__(message)
+        self.task_label = task_label
+        self.attempts = attempts
+
+
+class TaskTimeoutError(TaskError):
+    """A task exceeded its per-attempt time budget on every attempt."""
+
+
+@dataclass(frozen=True)
+class Task:
+    """One deterministic unit of work.
+
+    ``fn_name`` names a registered task function; ``payload`` is the
+    picklable argument mapping; ``seed_path`` addresses the task's random
+    stream (empty for purely deterministic tasks).  ``label`` is for
+    humans: progress lines, error messages, benchmark output.
+    """
+
+    fn_name: str
+    payload: Mapping[str, Any]
+    seed_path: SeedPath = ()
+    label: str = ""
+
+    def describe(self) -> str:
+        return self.label or f"{self.fn_name}{list(self.seed_path)}"
+
+
+@dataclass(frozen=True)
+class TaskContext:
+    """What a task function may know about its own execution.
+
+    ``rng`` is the generator the seed path names (``None`` for seedless
+    tasks); ``attempt`` counts from 0 and only exceeds 0 on retries, where
+    ``rng`` is already the derived retry stream.
+    """
+
+    rng: Any = None
+    attempt: int = 0
+    seed_path: SeedPath = ()
+
+
+TaskFn = Callable[[Mapping[str, Any], TaskContext], Any]
+
+_REGISTRY: dict[str, TaskFn] = {}
+
+
+def task(name: str) -> Callable[[TaskFn], TaskFn]:
+    """Register a task function under ``name``.
+
+    Task functions must live at module level in a module every worker
+    imports (the built-ins live in :mod:`repro.runtime.tasks`); a worker
+    process resolves tasks by name, so closures cannot cross the boundary.
+    """
+
+    def decorator(fn: TaskFn) -> TaskFn:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not fn:
+            raise TaskError(f"duplicate task name {name!r}")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def resolve_task(name: str) -> TaskFn:
+    """Look up a registered task function; raises :class:`TaskError` if absent."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise TaskError(
+            f"unknown task {name!r}; registered: {sorted(_REGISTRY)} "
+            "(task functions must be registered at import time in repro.runtime.tasks "
+            "or another module the worker imports)"
+        ) from None
+
+
+def registered_tasks() -> list[str]:
+    """Names of all registered task functions."""
+    return sorted(_REGISTRY)
+
+
+def attempt_seed_path(seed_path: SeedPath, attempt: int) -> SeedPath:
+    """The seed path for attempt ``attempt`` (0 = first try) of a task."""
+    if attempt == 0 or not seed_path:
+        return seed_path
+    return (*seed_path, _RETRY_KEY, attempt)
+
+
+def execute_attempt(fn_name: str, payload: Mapping[str, Any], seed_path: SeedPath, attempt: int) -> Any:
+    """Run one attempt of a task in the current process.
+
+    This is the single entry point both executors use — the serial
+    executor calls it inline, the process executor ships its arguments to
+    a worker — so a task cannot behave differently depending on which
+    executor ran it.
+    """
+    # Built-in tasks register on import; a spawned worker starts from a
+    # blank registry, so make sure they are present before resolving.
+    from . import tasks as _builtin_tasks  # noqa: F401
+
+    fn = resolve_task(fn_name)
+    path = attempt_seed_path(seed_path, attempt)
+    rng = generator_from_path(path) if path else None
+    return fn(payload, TaskContext(rng=rng, attempt=attempt, seed_path=path))

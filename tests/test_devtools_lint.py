@@ -36,9 +36,9 @@ def rule_ids(findings):
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_six_rules_registered(self):
         ids = [cls.id for cls in registered_rules()]
-        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
 
     def test_syntax_error_reported_not_raised(self):
         findings = lint("def broken(:\n", "src/repro/core/x.py")
@@ -331,7 +331,7 @@ class TestRL004WallClock:
         for allowed in (
             "src/repro/automl/search.py",
             "src/repro/automl/halving.py",
-            "src/repro/experiments/runner.py",
+            "src/repro/runtime/clock.py",
         ):
             assert lint(source, allowed) == []
 
@@ -379,6 +379,141 @@ class TestRL005Footguns:
             except ValueError:
                 pass
             """,
+            "src/repro/core/x.py",
+        )
+        assert findings == []
+
+
+class TestRL006DocstringDrift:
+    def test_removed_parameter_still_documented_flagged(self):
+        findings = lint(
+            '''
+            def f(x):
+                """Add.
+
+                Parameters
+                ----------
+                x : int
+                    Kept.
+                y : int
+                    Removed from the signature.
+                """
+                return x
+            ''',
+            "src/repro/core/x.py",
+        )
+        assert rule_ids(findings) == ["RL006"]
+        assert "'y'" in findings[0].message
+
+    def test_comma_separated_names_each_checked(self):
+        findings = lint(
+            '''
+            def f(timeout):
+                """Run.
+
+                Parameters
+                ----------
+                timeout, retries : int
+                    Only timeout survives.
+                """
+            ''',
+            "src/repro/core/x.py",
+        )
+        assert rule_ids(findings) == ["RL006"]
+        assert "'retries'" in findings[0].message
+
+    def test_class_docstring_checked_against_own_init(self):
+        findings = lint(
+            '''
+            class C:
+                """Widget.
+
+                Parameters
+                ----------
+                old_name:
+                    Renamed to new_name.
+                """
+
+                def __init__(self, new_name=None):
+                    self.new_name = new_name
+            ''',
+            "src/repro/core/x.py",
+        )
+        assert rule_ids(findings) == ["RL006"]
+        assert "class 'C'" in findings[0].message
+
+    def test_class_without_own_init_skipped(self):
+        findings = lint(
+            '''
+            class Config:
+                """A dataclass-style class.
+
+                Parameters
+                ----------
+                anything:
+                    Signature is generated, not visible statically.
+                """
+
+                n: int = 3
+            ''',
+            "src/repro/core/x.py",
+        )
+        assert findings == []
+
+    def test_kwargs_absorbs_documented_names(self):
+        findings = lint(
+            '''
+            def f(x, **kwargs):
+                """Doc.
+
+                Parameters
+                ----------
+                anything:
+                    Lands in kwargs.
+                """
+            ''',
+            "src/repro/core/x.py",
+        )
+        assert findings == []
+
+    def test_matching_section_clean_and_later_sections_ignored(self):
+        findings = lint(
+            '''
+            def f(x, *items, retries=0):
+                """Doc.
+
+                Parameters
+                ----------
+                x : int
+                    With a deeper-indented description line
+                    that must not parse as an entry.
+                *items:
+                    Star-prefixed entry.
+                retries:
+                    Keyword-only.
+
+                Returns
+                -------
+                value : int
+                    Return names are not parameters.
+                """
+            ''',
+            "src/repro/core/x.py",
+        )
+        assert findings == []
+
+    def test_undocumented_parameters_allowed(self):
+        findings = lint(
+            '''
+            def f(x, y, z):
+                """Doc.
+
+                Parameters
+                ----------
+                x : int
+                    The only interesting one.
+                """
+            ''',
             "src/repro/core/x.py",
         )
         assert findings == []

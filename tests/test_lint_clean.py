@@ -25,7 +25,7 @@ class TestLintClean:
         """The clean-run gate must not pass because rules were disabled."""
         config = load_config(PYPROJECT)
         enabled = [cls.id for cls in registered_rules() if config.rule_enabled(cls.id)]
-        assert enabled == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        assert enabled == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
 
     def test_pyproject_table_present(self):
         text = PYPROJECT.read_text(encoding="utf-8")

@@ -40,8 +40,9 @@ def test_fluid_engine_invariants_property(scenario, protocol, seed):
     assert metrics.avg_delay_ms >= scenario.rtt_ms / 2.0 - 1e-6
     # p95 >= mean up to discretization: the weighted percentile picks a
     # concrete sample, which on a near-constant delay distribution can sit
-    # microscopically below the weighted mean.
-    assert metrics.p95_delay_ms >= metrics.avg_delay_ms - 1e-3
+    # slightly below the weighted mean — the gap scales with the delay
+    # magnitude, so the tolerance must too.
+    assert metrics.p95_delay_ms >= metrics.avg_delay_ms - max(1e-3, 0.01 * metrics.avg_delay_ms)
     # Delay is bounded by propagation + a full queue.
     max_queue_delay_ms = scenario.queue_capacity_packets / scenario.bandwidth_pps * 1000.0
     assert metrics.p95_delay_ms <= scenario.rtt_ms / 2.0 + max_queue_delay_ms + 1e-6
