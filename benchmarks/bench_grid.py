@@ -1,0 +1,149 @@
+"""Benchmark the sharded Table-1 experiment grid end-to-end.
+
+Times ``run_table1`` — dataset generation, per-repeat initial fits, and
+every (repeat, strategy) cell, all submitted as runtime tasks — under the
+execution regimes the grid sharding exists for:
+
+- ``serial``      — implicit serial runtime, no cache (the baseline path);
+- ``process_2``   — grid cells on a 2-worker process pool, no cache;
+- ``cache_cold``  — serial with an empty artifact cache (store overhead);
+- ``cache_warm``  — the same cache again: the whole grid answered from
+  disk with **zero** netsim dataset generations, zero AutoML fits, and
+  zero cell executions.
+
+Every regime must produce bitwise-identical balanced-accuracy scores for
+every algorithm; both invariants are asserted, not merely reported.
+Results land in ``BENCH_grid.json``.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_grid.py``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import Table1Config, run_table1
+from repro.experiments.grid import clear_dataset_memo
+from repro.runtime import ArtifactCache, ProcessExecutor, SerialExecutor, TaskRuntime
+from repro.runtime.clock import Stopwatch
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Task families the grid shards; a warm cache must execute none of them.
+GRID_TASKS = ("repro.experiments.tasks:scream_dataset", "automl.fit", "repro.experiments.tasks:grid_cell")
+
+ALGORITHMS = ["no_feedback", "uniform", "cross_ale", "within_ale_pool"]
+
+
+def build_config(args) -> Table1Config:
+    return Table1Config(
+        n_train=args.n_train,
+        n_test=args.n_test,
+        n_pool=args.n_pool,
+        n_feedback=args.n_feedback,
+        n_test_sets=4,
+        n_repeats=args.repeats,
+        cross_runs=2,
+        automl_iterations=args.iterations,
+        ensemble_size=3,
+        min_distinct_members=2,
+        grid_size=8,
+        seed=args.seed,
+    )
+
+
+def run_regime(name: str, runtime: TaskRuntime, config: Table1Config):
+    clear_dataset_memo()  # each regime pays its real dataset-generation cost
+    watch = Stopwatch()
+    table, _ = run_table1(config, algorithms=list(ALGORITHMS), runtime=runtime)
+    seconds = watch.elapsed()
+    scores = {algo: table.scores(algo).scores for algo in ALGORITHMS}
+    print(
+        f"{name:12s} {seconds:8.2f}s  "
+        f"executed={runtime.stats['executed']} cache_hits={runtime.stats['cache_hits']} "
+        f"failed={runtime.stats['failed']}"
+    )
+    return seconds, scores, {fn: runtime.executions_of(fn) for fn in GRID_TASKS}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-train", type=int, default=60)
+    parser.add_argument("--n-test", type=int, default=80)
+    parser.add_argument("--n-pool", type=int, default=60)
+    parser.add_argument("--n-feedback", type=int, default=10)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--iterations", type=int, default=4, help="AutoML candidates per fit")
+    parser.add_argument("--seed", type=int, default=20211110)
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_grid.json", help="result file"
+    )
+    args = parser.parse_args(argv)
+
+    config = build_config(args)
+    n_cells = args.repeats * len(ALGORITHMS)
+    print(
+        f"workload: {n_cells} grid cells ({args.repeats} repeats x {len(ALGORITHMS)} "
+        f"strategies), {os.cpu_count()} CPU core(s)\n"
+    )
+
+    timings: dict[str, float] = {}
+    all_scores: dict[str, dict[str, np.ndarray]] = {}
+    executions: dict[str, dict[str, int]] = {}
+    cache_dir = Path(tempfile.mkdtemp(prefix="bench-grid-cache-"))
+    try:
+        regimes = {
+            "serial": TaskRuntime(SerialExecutor()),
+            "process_2": TaskRuntime(ProcessExecutor(max_workers=2)),
+            "cache_cold": TaskRuntime(SerialExecutor(), cache=ArtifactCache(cache_dir)),
+            "cache_warm": TaskRuntime(SerialExecutor(), cache=ArtifactCache(cache_dir)),
+        }
+        for name, runtime in regimes.items():
+            timings[name], all_scores[name], executions[name] = run_regime(name, runtime, config)
+        warm_stats = regimes["cache_warm"].stats
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    reference = all_scores["serial"]
+    bitwise_identical = all(
+        all(np.array_equal(reference[algo], scores[algo]) for algo in ALGORITHMS)
+        for scores in all_scores.values()
+    )
+    assert bitwise_identical, "grid regimes disagree — the determinism contract is broken"
+    warm_executions = executions["cache_warm"]
+    assert warm_stats["executed"] == 0 and all(
+        count == 0 for count in warm_executions.values()
+    ), f"cache-warm rerun executed work: {warm_executions}"
+
+    results = {
+        "workload": {
+            "n_cells": n_cells,
+            "algorithms": list(ALGORITHMS),
+            "config": {k: getattr(config, k) for k in Table1Config.__dataclass_fields__},
+        },
+        "cpu_count": os.cpu_count(),
+        "timings_seconds": {name: round(seconds, 4) for name, seconds in timings.items()},
+        "speedups_vs_serial": {
+            name: round(timings["serial"] / seconds, 2)
+            for name, seconds in timings.items()
+            if name != "serial"
+        },
+        "executions_by_regime": executions,
+        "cache_warm_executed": warm_stats["executed"],
+        "bitwise_identical": bitwise_identical,
+    }
+    args.output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(f"\nspeedups vs serial: {results['speedups_vs_serial']}")
+    print(f"results written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

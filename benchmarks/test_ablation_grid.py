@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.core import AleFeedback, FeatureDomain, Interval, IntervalUnion
+from repro.rng import check_random_state
 from repro.ml.linear import softmax
 
 from .conftest import banner
@@ -42,7 +43,7 @@ def _coverage(flagged: IntervalUnion, truth: Interval) -> float:
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_grid_resolution(run_once):
-    rng = np.random.default_rng(0)
+    rng = check_random_state(0)
     X = rng.uniform(0, 10, size=(3000, 2))
     domains = [FeatureDomain("x0", 0, 10), FeatureDomain("x1", 0, 10)]
     committee = [_StepModel(4.0), _StepModel(6.0)]

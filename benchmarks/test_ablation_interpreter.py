@@ -19,6 +19,7 @@ from repro.core import AleFeedback, within_ale_committee
 from repro.datasets import ScreamOracle, generate_scream_dataset
 from repro.ml import balanced_accuracy
 from repro.ml.metrics import accuracy
+from repro.rng import check_random_state
 
 from .conftest import banner, bench_scale
 
@@ -42,7 +43,7 @@ def test_ablation_interpreter_ale_vs_pdp(run_once):
 
         outcome = {"baseline": baseline}
         probe = np.column_stack(
-            [domain.sample(4096, np.random.default_rng(0)) for domain in train.domains]
+            [domain.sample(4096, check_random_state(0)) for domain in train.domains]
         )
         masks = {}
         for interpreter in ("ale", "pdp"):

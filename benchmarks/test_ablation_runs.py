@@ -15,6 +15,7 @@ import pytest
 from repro.automl import AutoMLClassifier
 from repro.core import AleFeedback, cross_ale_committee
 from repro.datasets import generate_scream_dataset
+from repro.rng import check_random_state
 
 from .conftest import banner, bench_scale
 
@@ -44,7 +45,7 @@ def test_ablation_cross_ale_runs(run_once):
     print("runs,threshold,n_regions,relative_volume,jaccard_vs_full")
 
     full_report = feedback.analyze(cross_ale_committee(runs), dataset.X, dataset.domains)
-    probe = np.column_stack([d.sample(4096, np.random.default_rng(0)) for d in dataset.domains])
+    probe = np.column_stack([d.sample(4096, check_random_state(0)) for d in dataset.domains])
     full_mask = full_report.region.contains(probe)
 
     jaccards = {}

@@ -12,11 +12,16 @@ table or figure without touching Python:
 - ``lint``     — run reprolint (RL001-RL006) over the source tree;
 - ``cache``    — inspect/clear/prune the artifact cache.
 
-``table1`` and ``ucl`` accept ``--workers N`` (AutoML fits and ALE
-profiles on N processes) and ``--cache {on,off,refresh}`` (content-
-addressed artifact cache under ``~/.cache/repro-ale``, overridable with
-``--cache-dir`` or ``$REPRO_CACHE_DIR``).  Results are bitwise-identical
-whatever the worker count or cache state.
+``table1`` and ``ucl`` accept ``--workers N`` and ``--cache
+{on,off,refresh}``.  The whole experiment grid is sharded through the
+runtime — dataset generation, per-repeat initial fits, and every
+(repeat, strategy) cell are independent tasks — so ``--workers`` runs
+grid cells in parallel end-to-end and ``--cache`` (content-addressed,
+under ``~/.cache/repro-ale``; override with ``--cache-dir`` or
+``$REPRO_CACHE_DIR``) answers a warm rerun per cell without touching the
+network emulator or AutoML at all.  Results are bitwise-identical
+whatever the worker count or cache state; a failed cell is dropped and
+reported instead of crashing the run.
 
 Results print to stdout; ``--output DIR`` additionally writes the JSON/CSV
 record bundle.
@@ -45,7 +50,7 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=0,
         metavar="N",
-        help="run AutoML fits / ALE profiles on N worker processes (0 = in-process serial)",
+        help="run grid cells / AutoML fits on N worker processes (0 = in-process serial)",
     )
     parser.add_argument(
         "--cache",
@@ -78,9 +83,10 @@ def _report_runtime(runtime) -> None:
     if runtime is None:
         return
     stats = runtime.stats
+    failed = f", {stats['failed']} failed" if stats.get("failed") else ""
     print(
         f"runtime: {stats['executed']} task(s) executed, "
-        f"{stats['cache_hits']} cache hit(s), {stats['cache_stores']} stored",
+        f"{stats['cache_hits']} cache hit(s), {stats['cache_stores']} stored{failed}",
         file=sys.stderr,
     )
 

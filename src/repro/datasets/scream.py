@@ -197,6 +197,12 @@ def generate_scream_dataset(
     ``biased`` draws scenarios from the production-like distribution
     (:meth:`ScenarioSpace.sample_production_biased`) instead of uniformly —
     the collection bias §2.2 argues feedback must overcome.
+
+    Labeling every row runs the network emulator, which makes this the
+    most expensive input of an experiment.  The sharded experiment grid
+    wraps it as the ``repro.experiments.tasks:scream_dataset`` task
+    family, so generated datasets are content-addressed in the runtime's
+    artifact cache and a warm rerun skips the emulation entirely.
     """
     if n_samples < 1:
         raise ValidationError(f"n_samples must be >= 1, got {n_samples}")

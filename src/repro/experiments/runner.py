@@ -31,6 +31,7 @@ __all__ = [
     "AugmentationContext",
     "AugmentationResult",
     "STRATEGIES",
+    "ORACLE_STRATEGIES",
     "strategy",
     "evaluate_on_test_sets",
     "run_strategy",
@@ -114,14 +115,25 @@ class AugmentationResult:
 _StrategyFn = Callable[[AugmentationContext], AugmentationResult]
 STRATEGIES: dict[str, _StrategyFn] = {}
 
+#: Strategies that call ``ctx.label`` and therefore need a labeling oracle.
+#: Experiments without one (the firewall data) reject these up front — a
+#: clear :class:`ValidationError` instead of a failed grid cell.
+ORACLE_STRATEGIES: set[str] = set()
 
-def strategy(name: str):
-    """Register a Table-1 augmentation strategy under ``name``."""
+
+def strategy(name: str, *, needs_oracle: bool = False):
+    """Register a Table-1 augmentation strategy under ``name``.
+
+    ``needs_oracle`` marks strategies that label new points via
+    ``ctx.label`` — pool-only experiments refuse them at validation time.
+    """
 
     def decorator(fn: _StrategyFn) -> _StrategyFn:
         if name in STRATEGIES:
             raise ValidationError(f"duplicate strategy name {name!r}")
         STRATEGIES[name] = fn
+        if needs_oracle:
+            ORACLE_STRATEGIES.add(name)
         return fn
 
     return decorator
@@ -159,7 +171,7 @@ def _analyze_with_fallback(ctx: AugmentationContext, committee) -> "FeedbackRepo
     return report
 
 
-@strategy("within_ale")
+@strategy("within_ale", needs_oracle=True)
 def _within_ale(ctx: AugmentationContext) -> AugmentationResult:
     """ALE-variance feedback over one AutoML ensemble; oracle labels."""
     committee = within_ale_committee(ctx.initial_automl)
@@ -173,7 +185,7 @@ def _within_ale(ctx: AugmentationContext) -> AugmentationResult:
     )
 
 
-@strategy("cross_ale")
+@strategy("cross_ale", needs_oracle=True)
 def _cross_ale(ctx: AugmentationContext) -> AugmentationResult:
     """ALE-variance feedback across independent AutoML runs."""
     committee = cross_ale_committee(ctx.fit_cross_runs())
@@ -187,7 +199,7 @@ def _cross_ale(ctx: AugmentationContext) -> AugmentationResult:
     )
 
 
-@strategy("uniform")
+@strategy("uniform", needs_oracle=True)
 def _uniform(ctx: AugmentationContext) -> AugmentationResult:
     """Uniformly sampled extra points (placement-agnostic control)."""
     X_new = sample_uniform(ctx.train.domains, ctx.n_feedback, random_state=ctx.rng)

@@ -7,25 +7,32 @@ one-sided Wilcoxon signed-rank p-values, ``α = 5 %``).
 ``Table1Config`` defaults are scaled down to minutes-on-a-laptop;
 ``PAPER_SCALE`` holds the paper's sizes (1161 train / +280 feedback / 4850
 test / 2000 pool / 10 repeats / 10 cross runs) for full-fidelity runs.
+
+The experiment is *sharded*: dataset generation, each repeat's initial
+AutoML fit, and every (repeat, strategy) cell are independent runtime
+tasks (see :mod:`repro.experiments.grid`), so a parallel executor runs
+cells concurrently, the artifact cache answers warm reruns without
+touching the emulator or AutoML, and one poisoned cell degrades gracefully
+instead of losing the run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..automl.spec import AutoMLSpec
-from ..core.feedback import AleFeedback
-from ..datasets.scream import LabeledDataset, ScreamOracle, generate_scream_dataset
 from ..datasets.splits import make_test_sets
 from ..exceptions import ValidationError
 from ..ml.metrics import accuracy
-from ..rng import check_random_state, spawn
-from ..runtime import TaskRuntime
+from ..rng import check_random_state, generator_from_path, spawn_seeds
+from ..runtime import Task, TaskRuntime, default_runtime
 from ..stats.significance import AlgorithmScores, SignificanceTable
+from .grid import RepeatPlan, fetch_datasets, run_experiment_grid
 from .records import ExperimentRecord, scores_to_csv
-from .runner import AugmentationContext, STRATEGIES, run_strategy
+from .runner import STRATEGIES
+from .tasks import SCREAM_DATASET_TASK
 
 __all__ = ["Table1Config", "PAPER_SCALE", "TABLE1_ALGORITHMS", "run_table1", "format_paper_table"]
 
@@ -86,38 +93,30 @@ PAPER_SCALE = Table1Config(
     ensemble_size=16,
 )
 
-# Generated datasets are reused across repeats (splits differ per repeat);
-# keyed by the generation parameters.
-_DATASET_CACHE: dict[tuple, LabeledDataset] = {}
+def _dataset_tasks(config: Table1Config) -> tuple[Task, Task]:
+    """The two Scream generation tasks: evaluation pool and train reservoir.
 
-
-def _eval_dataset(config: Table1Config) -> LabeledDataset:
-    """Uniformly sampled scenarios: the test sets and the candidate pool."""
-    n = config.n_test + config.n_pool
-    key = ("uniform", n, config.engine, config.seed)
-    if key not in _DATASET_CACHE:
-        _DATASET_CACHE[key] = generate_scream_dataset(
-            n, engine=config.engine, random_state=config.seed
-        )
-    return _DATASET_CACHE[key]
-
-
-def _train_dataset(config: Table1Config) -> LabeledDataset:
-    """The training reservoir each repeat draws its training set from.
-
-    With ``biased_train`` (default) scenarios come from the production-like
-    distribution of §2.2 — the operator's logs under-represent lossy,
-    congested conditions, which is exactly the blind spot the feedback is
-    meant to surface.  Sized at 2× ``n_train`` so repeats see different
-    training sets.
+    Seed paths ``(seed,)`` / ``(seed + 1,)`` are bitwise-equivalent to the
+    pre-shard ``random_state=seed`` / ``seed + 1`` integers, so the
+    generated data is unchanged.  The train reservoir is sized at 2×
+    ``n_train`` so repeats see different training sets; ``biased_train``
+    draws it from the production-like distribution of §2.2 — the
+    operator's logs under-represent lossy, congested conditions, exactly
+    the blind spot the feedback is meant to surface.
     """
-    n = 2 * config.n_train
-    key = ("train", config.biased_train, n, config.engine, config.seed)
-    if key not in _DATASET_CACHE:
-        _DATASET_CACHE[key] = generate_scream_dataset(
-            n, engine=config.engine, biased=config.biased_train, random_state=config.seed + 1
-        )
-    return _DATASET_CACHE[key]
+    eval_task = Task(
+        fn_name=SCREAM_DATASET_TASK,
+        payload={"n_samples": config.n_test + config.n_pool, "engine": config.engine, "biased": False},
+        seed_path=(config.seed,),
+        label="scream-eval-dataset",
+    )
+    train_task = Task(
+        fn_name=SCREAM_DATASET_TASK,
+        payload={"n_samples": 2 * config.n_train, "engine": config.engine, "biased": config.biased_train},
+        seed_path=(config.seed + 1,),
+        label="scream-train-dataset",
+    )
+    return eval_task, train_task
 
 
 def run_table1(
@@ -130,10 +129,15 @@ def run_table1(
     """Run the Table 1 experiment and return the significance table.
 
     ``progress`` is an optional callable receiving status strings.
-    ``runtime`` routes every AutoML fit and ALE profile through a
-    :class:`~repro.runtime.TaskRuntime` (parallel executors, artifact
-    cache); ``None`` keeps the implicit serial, uncached path.  Results
-    are bitwise-identical either way.
+    ``runtime`` is the :class:`~repro.runtime.TaskRuntime` the sharded
+    grid executes on — dataset generation, per-repeat initial fits, and
+    every (repeat, strategy) cell are independent tasks, so a process
+    executor runs cells in parallel and an artifact cache answers warm
+    reruns per cell; ``None`` means serial and uncached.  Results are
+    bitwise-identical under any executor, submission order, or cache
+    state.  A failed cell drops its algorithm (a failed initial fit drops
+    its repeat) and is reported in ``record.metadata["grid"]`` rather than
+    crashing the run.
     """
     config.validate()
     algorithms = list(algorithms) if algorithms is not None else list(TABLE1_ALGORITHMS)
@@ -141,66 +145,64 @@ def run_table1(
     if unknown:
         raise ValidationError(f"unknown algorithms: {sorted(unknown)}")
     say = progress or (lambda message: None)
+    rt = runtime if runtime is not None else default_runtime()
 
-    eval_dataset = _eval_dataset(config)
-    train_reservoir = _train_dataset(config)
-    oracle = ScreamOracle(engine=config.engine, random_state=config.seed + 2)
+    say("generating datasets")
+    eval_dataset, train_reservoir = fetch_datasets(rt, list(_dataset_tasks(config)))
+
+    # Internal search/selection metric is plain accuracy — the
+    # AutoSklearn default the paper ran with.  Evaluation is balanced
+    # accuracy, so label imbalance hurts exactly the way Table 1 shows
+    # (uniform extra data can hurt; upsampling wins).  A spec, not a
+    # closure, so fits can cross the process boundary.
+    automl_factory = AutoMLSpec(
+        n_iterations=config.automl_iterations,
+        ensemble_size=config.ensemble_size,
+        min_distinct_members=config.min_distinct_members,
+        scorer=accuracy,
+    )
+
+    # Each repeat's root seed comes from the master stream; everything the
+    # repeat owns (splits, initial-fit seed, cell streams) derives from it,
+    # so repeats are independent tasks-in-waiting rather than loop turns.
     master_rng = check_random_state(config.seed + 3)
-    collected: dict[str, list[float]] = {name: [] for name in algorithms}
-
-    for repeat, repeat_rng in enumerate(spawn(master_rng, config.n_repeats)):
-        say(f"repeat {repeat + 1}/{config.n_repeats}")
+    plans: list[RepeatPlan] = []
+    for repeat, repeat_seed in enumerate(spawn_seeds(master_rng, config.n_repeats)):
+        repeat_rng = generator_from_path((repeat_seed,))
         train_order = repeat_rng.permutation(train_reservoir.n_samples)
         train = train_reservoir.subset(train_order[: config.n_train])
         order = repeat_rng.permutation(eval_dataset.n_samples)
         test = eval_dataset.subset(order[: config.n_test])
         pool = eval_dataset.subset(order[config.n_test :])
         test_sets = make_test_sets(test, config.n_test_sets, random_state=repeat_rng)
+        [initial_seed] = spawn_seeds(repeat_rng, 1)
+        plans.append(RepeatPlan(repeat, repeat_seed, train, pool, test_sets, initial_seed))
 
-        # Internal search/selection metric is plain accuracy — the
-        # AutoSklearn default the paper ran with.  Evaluation is
-        # balanced accuracy, so label imbalance hurts exactly the way
-        # Table 1 shows (uniform extra data can hurt; upsampling wins).
-        # A spec, not a closure, so fits can cross the process boundary.
-        automl_factory = AutoMLSpec(
-            n_iterations=config.automl_iterations,
-            ensemble_size=config.ensemble_size,
-            min_distinct_members=config.min_distinct_members,
-            scorer=accuracy,
-        )
+    grid = run_experiment_grid(
+        rt,
+        plans,
+        algorithms,
+        factory=automl_factory,
+        n_feedback=config.n_feedback,
+        cross_runs=config.cross_runs,
+        feedback={
+            "threshold": config.threshold,
+            "threshold_scale": config.threshold_scale,
+            "grid_size": config.grid_size,
+        },
+        oracle={"engine": config.engine},
+        progress=say,
+    )
 
-        initial = automl_factory(repeat_rng).fit(train.X, train.y)
-        ctx = AugmentationContext(
-            train=train,
-            pool=pool,
-            oracle=oracle.label,
-            initial_automl=initial,
-            automl_factory=automl_factory,
-            n_feedback=config.n_feedback,
-            feedback=AleFeedback(
-                threshold=config.threshold,
-                threshold_scale=config.threshold_scale,
-                grid_size=config.grid_size,
-                task_mapper=runtime.named_map if runtime is not None else None,
-            ),
-            cross_runs=config.cross_runs,
-            rng=repeat_rng,
-            runtime=runtime,
-        )
-        for name in algorithms:
-            scores, result = run_strategy(name, ctx, test_sets, random_state=repeat_rng)
-            collected[name].extend(scores)
-            say(
-                f"  {name}: mean bacc {float(np.mean(scores)):.3f} "
-                f"(+{result.points_added} pts{'; ' + result.detail if result.detail else ''})"
-            )
-
-    table = SignificanceTable([AlgorithmScores(name, np.asarray(collected[name])) for name in algorithms])
+    table = SignificanceTable(
+        [AlgorithmScores(name, np.asarray(scores)) for name, scores in grid.collected.items()]
+    )
     record = ExperimentRecord(
         experiment_id="table1_scream_vs_rest",
         metadata={
             "config": {k: getattr(config, k) for k in Table1Config.__dataclass_fields__},
             "paper_reference": "HotNets'21 Table 1",
+            "grid": grid.metadata(),
         },
     )
     record.tables["table1"] = format_paper_table(table)

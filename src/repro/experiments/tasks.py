@@ -1,0 +1,146 @@
+"""Experiment-layer task functions: the grid's plugin family.
+
+The runtime layer sits *below* the experiments layer in the import DAG
+(reprolint RL002), so these task functions cannot live in
+:mod:`repro.runtime.tasks`.  They register under qualified
+``"repro.experiments.tasks:<name>"`` names instead: a worker process that
+has never imported this module resolves such a name by importing the
+module part on demand (see :func:`repro.runtime.task.resolve_task`), after
+which the registry lookup proceeds exactly as for a built-in.
+
+Three families:
+
+- ``scream_dataset`` / ``firewall_dataset`` — the emulator-labeled (and
+  synthetic-log) dataset generation.  These are the netsim-heavy part of
+  an experiment; as cacheable tasks, a warm rerun skips the network
+  emulation entirely.
+- ``grid_cell`` — one (repeat, strategy) cell of the Table-1/UCL grid:
+  augment the training set, refit, score on the repeat's test sets.  The
+  cell's AutoML fits run inline inside the cell (coarse-grained
+  parallelism: the grid shards across cells, not within them).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..core.feedback import AleFeedback
+from ..datasets.firewall import generate_firewall_dataset
+from ..datasets.scream import ScreamOracle, generate_scream_dataset
+from ..exceptions import ValidationError
+from ..rng import generator_from_path
+from ..runtime.cache import Provenance
+from ..runtime.task import TaskContext, task
+
+__all__ = [
+    "SCREAM_DATASET_TASK",
+    "FIREWALL_DATASET_TASK",
+    "GRID_CELL_TASK",
+    "scream_dataset",
+    "firewall_dataset",
+    "grid_cell",
+]
+
+SCREAM_DATASET_TASK = "repro.experiments.tasks:scream_dataset"
+FIREWALL_DATASET_TASK = "repro.experiments.tasks:firewall_dataset"
+GRID_CELL_TASK = "repro.experiments.tasks:grid_cell"
+
+#: Spawn-key dimension for a cell's labeling oracle ("ORAC" in ASCII).
+#: The oracle's emulator queries draw from their own branch of the cell's
+#: seed path, so strategy code and oracle consume independent streams and
+#: the cell stays a pure function of (payload, seed path).
+_ORACLE_KEY = 0x4F524143
+
+
+@task(SCREAM_DATASET_TASK)
+def scream_dataset(payload: Mapping[str, Any], ctx: TaskContext) -> Any:
+    """Generate the emulator-labeled Scream-vs-rest dataset.
+
+    Payload: ``n_samples``, ``engine`` (``"fluid"``/``"packet"``) and
+    ``biased`` (production-like scenario skew).  Labeling every row runs
+    the network emulator, which dominates experiment start-up cost — this
+    is the task family the artifact cache exists to absorb.
+    """
+    if ctx.rng is None:
+        raise ValidationError("scream_dataset needs a seed path (scenario sampling is stochastic)")
+    return generate_scream_dataset(
+        int(payload["n_samples"]),
+        engine=str(payload.get("engine", "fluid")),
+        biased=bool(payload.get("biased", False)),
+        random_state=ctx.rng,
+    )
+
+
+@task(FIREWALL_DATASET_TASK)
+def firewall_dataset(payload: Mapping[str, Any], ctx: TaskContext) -> Any:
+    """Generate the synthetic firewall-log dataset (§4.2).
+
+    Payload: ``n_samples`` and ``label_noise``.
+    """
+    if ctx.rng is None:
+        raise ValidationError("firewall_dataset needs a seed path (log synthesis is stochastic)")
+    return generate_firewall_dataset(
+        int(payload["n_samples"]),
+        label_noise=float(payload.get("label_noise", 0.0)),
+        random_state=ctx.rng,
+    )
+
+
+@task(GRID_CELL_TASK)
+def grid_cell(payload: Mapping[str, Any], ctx: TaskContext) -> Any:
+    """Run one (repeat, strategy) cell of an experiment grid.
+
+    Payload: ``strategy`` (registered name), ``train``/``pool``
+    (:class:`~repro.datasets.scream.LabeledDataset`), ``test_sets``,
+    ``factory`` (:class:`~repro.automl.spec.AutoMLSpec`),
+    ``initial_automl`` (the repeat's shared fitted model, usually wrapped
+    in a :class:`~repro.runtime.cache.Provenance` so the cell's cache key
+    hashes the fit's content address rather than model bytes),
+    ``n_feedback``,
+    ``cross_runs``, ``feedback`` (threshold/threshold_scale/grid_size
+    mapping) and ``oracle`` (``None`` for pool-only experiments, else an
+    ``{"engine": ...}`` spec — the oracle itself is rebuilt here from the
+    cell's own seed path, never shipped as live state).
+
+    Returns ``{"scores": [...], "points_added": int, "detail": str}`` —
+    plain data, so the artifact cache can answer a warm rerun without
+    touching AutoML or the emulator at all.
+    """
+    # Imported here, not at module top: runner pulls in the strategy
+    # registry and the full active-learning stack, which dataset-only
+    # workers never need.
+    from .runner import AugmentationContext, run_strategy
+
+    if ctx.rng is None:
+        raise ValidationError("grid_cell needs a seed path (augmentation and refits are stochastic)")
+    feedback_cfg = dict(payload["feedback"])
+    feedback = AleFeedback(
+        threshold=feedback_cfg.get("threshold"),
+        threshold_scale=float(feedback_cfg.get("threshold_scale", 1.0)),
+        grid_size=int(feedback_cfg.get("grid_size", 32)),
+    )
+    initial_automl = payload["initial_automl"]
+    if isinstance(initial_automl, Provenance):
+        initial_automl = initial_automl.value
+    oracle_cfg = payload.get("oracle")
+    oracle = None
+    if oracle_cfg is not None:
+        oracle_rng = generator_from_path((*ctx.seed_path, _ORACLE_KEY))
+        oracle = ScreamOracle(engine=str(oracle_cfg.get("engine", "fluid")), random_state=oracle_rng).label
+    cell_ctx = AugmentationContext(
+        train=payload["train"],
+        pool=payload["pool"],
+        oracle=oracle,
+        initial_automl=initial_automl,
+        automl_factory=payload["factory"],
+        n_feedback=int(payload["n_feedback"]),
+        feedback=feedback,
+        cross_runs=int(payload["cross_runs"]),
+        rng=ctx.rng,
+    )
+    scores, result = run_strategy(payload["strategy"], cell_ctx, payload["test_sets"], random_state=ctx.rng)
+    return {
+        "scores": [float(score) for score in scores],
+        "points_added": int(result.points_added),
+        "detail": result.detail,
+    }

@@ -18,17 +18,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..automl.spec import AutoMLSpec
-from ..core.feedback import AleFeedback
-from ..datasets.firewall import generate_firewall_dataset
-from ..datasets.scream import LabeledDataset
 from ..datasets.splits import split_train_test_pool
 from ..exceptions import ValidationError
 from ..ml.metrics import accuracy
-from ..rng import check_random_state, spawn
-from ..runtime import TaskRuntime
+from ..rng import check_random_state, generator_from_path, spawn_seeds
+from ..runtime import Task, TaskRuntime, default_runtime
 from ..stats.significance import AlgorithmScores, SignificanceTable
+from .grid import RepeatPlan, fetch_datasets, run_experiment_grid
 from .records import ExperimentRecord, scores_to_csv
-from .runner import AugmentationContext, STRATEGIES, run_strategy
+from .runner import ORACLE_STRATEGIES, STRATEGIES
+from .tasks import FIREWALL_DATASET_TASK
 
 __all__ = ["UCLConfig", "PAPER_SCALE_UCL", "UCL_ALGORITHMS", "run_ucl"]
 
@@ -75,18 +74,6 @@ PAPER_SCALE_UCL = UCLConfig(
     ensemble_size=16,
 )
 
-_DATASET_CACHE: dict[tuple, LabeledDataset] = {}
-
-
-def _base_dataset(config: UCLConfig) -> LabeledDataset:
-    key = (config.n_samples, config.label_noise, config.seed)
-    if key not in _DATASET_CACHE:
-        _DATASET_CACHE[key] = generate_firewall_dataset(
-            config.n_samples, label_noise=config.label_noise, random_state=config.seed
-        )
-    return _DATASET_CACHE[key]
-
-
 def run_ucl(
     config: UCLConfig = UCLConfig(),
     *,
@@ -96,22 +83,53 @@ def run_ucl(
 ) -> tuple[SignificanceTable, ExperimentRecord]:
     """Run the firewall experiment across re-splits; returns the table.
 
-    ``runtime`` routes AutoML fits and ALE profiles through a
-    :class:`~repro.runtime.TaskRuntime`; ``None`` means serial, uncached.
+    ``runtime`` is the :class:`~repro.runtime.TaskRuntime` the sharded
+    grid executes on — dataset synthesis, per-re-split initial fits, and
+    every (re-split, strategy) cell are independent tasks (see
+    :mod:`repro.experiments.grid`); ``None`` means serial, uncached.
+    Failed cells degrade gracefully and land in
+    ``record.metadata["grid"]``.
     """
     config.validate()
     algorithms = list(algorithms) if algorithms is not None else list(UCL_ALGORITHMS)
     unknown = set(algorithms) - set(STRATEGIES)
     if unknown:
         raise ValidationError(f"unknown algorithms: {sorted(unknown)}")
+    # No oracle exists here: the firewall logs are what they are.  Reject
+    # oracle-needing strategies up front — a configuration error, not a
+    # degradable cell failure.
+    need_oracle = sorted(set(algorithms) & ORACLE_STRATEGIES)
+    if need_oracle:
+        raise ValidationError(
+            f"strategies {need_oracle} need a labeling oracle, but the firewall "
+            "experiment has none (pool-only experiments must use pool-based strategies)"
+        )
     say = progress or (lambda message: None)
+    rt = runtime if runtime is not None else default_runtime()
 
-    dataset = _base_dataset(config)
+    say("generating dataset")
+    dataset_task = Task(
+        fn_name=FIREWALL_DATASET_TASK,
+        payload={"n_samples": config.n_samples, "label_noise": config.label_noise},
+        seed_path=(config.seed,),
+        label="firewall-dataset",
+    )
+    [dataset] = fetch_datasets(rt, [dataset_task])
+
+    # Plain accuracy inside AutoML (the AutoSklearn default), balanced
+    # accuracy for evaluation — the paper's combination.  A spec, not a
+    # closure, so fits can cross the process boundary.
+    automl_factory = AutoMLSpec(
+        n_iterations=config.automl_iterations,
+        ensemble_size=config.ensemble_size,
+        min_distinct_members=config.min_distinct_members,
+        scorer=accuracy,
+    )
+
     master_rng = check_random_state(config.seed + 2)
-    collected: dict[str, list[float]] = {name: [] for name in algorithms}
-
-    for resplit, resplit_rng in enumerate(spawn(master_rng, config.n_resplits)):
-        say(f"re-split {resplit + 1}/{config.n_resplits}")
+    plans: list[RepeatPlan] = []
+    for resplit, resplit_seed in enumerate(spawn_seeds(master_rng, config.n_resplits)):
+        resplit_rng = generator_from_path((resplit_seed,))
         bundle = split_train_test_pool(
             dataset,
             train_fraction=0.4,
@@ -119,48 +137,32 @@ def run_ucl(
             n_test_sets=config.n_test_sets,
             random_state=resplit_rng,
         )
-
-        # Plain accuracy inside AutoML (the AutoSklearn default),
-        # balanced accuracy for evaluation — the paper's combination.
-        # A spec, not a closure, so fits can cross the process boundary.
-        automl_factory = AutoMLSpec(
-            n_iterations=config.automl_iterations,
-            ensemble_size=config.ensemble_size,
-            min_distinct_members=config.min_distinct_members,
-            scorer=accuracy,
+        [initial_seed] = spawn_seeds(resplit_rng, 1)
+        plans.append(
+            RepeatPlan(resplit, resplit_seed, bundle.train, bundle.pool, bundle.test_sets, initial_seed)
         )
 
-        initial = automl_factory(resplit_rng).fit(bundle.train.X, bundle.train.y)
-        ctx = AugmentationContext(
-            train=bundle.train,
-            pool=bundle.pool,
-            oracle=None,  # no oracle: the firewall logs are what they are
-            initial_automl=initial,
-            automl_factory=automl_factory,
-            n_feedback=config.n_feedback,
-            feedback=AleFeedback(
-                threshold=config.threshold,
-                grid_size=config.grid_size,
-                task_mapper=runtime.named_map if runtime is not None else None,
-            ),
-            cross_runs=config.cross_runs,
-            rng=resplit_rng,
-            runtime=runtime,
-        )
-        for name in algorithms:
-            scores, result = run_strategy(name, ctx, bundle.test_sets, random_state=resplit_rng)
-            collected[name].extend(scores)
-            say(
-                f"  {name}: mean bacc {float(np.mean(scores)):.3f} "
-                f"(+{result.points_added} pts{'; ' + result.detail if result.detail else ''})"
-            )
+    grid = run_experiment_grid(
+        rt,
+        plans,
+        algorithms,
+        factory=automl_factory,
+        n_feedback=config.n_feedback,
+        cross_runs=config.cross_runs,
+        feedback={"threshold": config.threshold, "grid_size": config.grid_size},
+        oracle=None,
+        progress=say,
+    )
 
-    table = SignificanceTable([AlgorithmScores(name, np.asarray(collected[name])) for name in algorithms])
+    table = SignificanceTable(
+        [AlgorithmScores(name, np.asarray(scores)) for name, scores in grid.collected.items()]
+    )
     record = ExperimentRecord(
         experiment_id="ucl_firewall",
         metadata={
             "config": {k: getattr(config, k) for k in UCLConfig.__dataclass_fields__},
             "paper_reference": "HotNets'21 §4.2",
+            "grid": grid.metadata(),
         },
     )
     record.tables["ucl"] = table.format_table(["no_feedback"])

@@ -20,7 +20,14 @@ The substrate the experiment harness schedules on (DESIGN.md §3,
 --cache on`` and ``python -m repro cache`` expose it on the CLI.
 """
 
-from .cache import ArtifactCache, CACHE_SALT, default_cache_dir, digest_payload, task_key
+from .cache import (
+    ArtifactCache,
+    CACHE_SALT,
+    Provenance,
+    default_cache_dir,
+    digest_payload,
+    task_key,
+)
 from .engine import CACHE_MODES, TaskRuntime, default_runtime
 from .executors import ProcessExecutor, SerialExecutor, TaskOutcome
 from .task import Task, TaskContext, TaskError, TaskTimeoutError, registered_tasks, task
@@ -42,5 +49,6 @@ __all__ = [
     "default_cache_dir",
     "digest_payload",
     "task_key",
+    "Provenance",
     "CACHE_SALT",
 ]

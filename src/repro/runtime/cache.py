@@ -37,7 +37,14 @@ from ..exceptions import ValidationError
 from ..rng import SeedPath
 from .task import Task
 
-__all__ = ["ArtifactCache", "digest_payload", "task_key", "default_cache_dir", "CACHE_SALT"]
+__all__ = [
+    "ArtifactCache",
+    "Provenance",
+    "digest_payload",
+    "task_key",
+    "default_cache_dir",
+    "CACHE_SALT",
+]
 
 #: Format/version salt mixed into every key.  Bump when task semantics or
 #: the artifact encoding change: old entries become unreachable (and
@@ -53,6 +60,26 @@ def default_cache_dir() -> Path:
     if override:
         return Path(override).expanduser()
     return Path.home() / ".cache" / "repro-ale"
+
+
+@dataclasses.dataclass(frozen=True)
+class Provenance:
+    """A task output tagged with the key of the task that produced it.
+
+    Complex artifacts (fitted ensembles, search states) do not pickle to
+    canonical bytes — a freshly built object and its cache round-trip can
+    serialize differently — so embedding one in a downstream payload would
+    make that payload's digest depend on *how the object got here* rather
+    than on what it is.  Wrapping it as ``Provenance(task_key(t), value)``
+    digests by the producing task's content address instead: stable,
+    O(1), and exactly the identity the cache already trusts.
+
+    ``value`` rides along untouched (workers unwrap it); only ``key``
+    enters the digest.
+    """
+
+    key: str
+    value: Any
 
 
 def _hash_update(h, *chunks: bytes) -> None:
@@ -87,6 +114,10 @@ def _digest_into(h, obj: Any) -> None:
         _hash_update(h, b"seq", type(obj).__name__.encode(), str(len(obj)).encode())
         for item in obj:
             _digest_into(h, item)
+    elif isinstance(obj, Provenance):
+        # Before the generic dataclass branch: digest the content address,
+        # never the (non-canonical) value bytes.
+        _hash_update(h, b"provenance", obj.key.encode())
     elif isinstance(obj, Mapping):
         keys = sorted(obj, key=repr)
         _hash_update(h, b"map", str(len(keys)).encode())

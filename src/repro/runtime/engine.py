@@ -77,6 +77,7 @@ class TaskRuntime:
             "executed_by_fn": {},
             "attempts": 0,
             "task_seconds": 0.0,
+            "failed": 0,
         }
 
     def _count_execution(self, task: Task, outcome: TaskOutcome) -> None:
@@ -92,12 +93,18 @@ class TaskRuntime:
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, tasks: Sequence[Task]) -> list[Any]:
+    def run(self, tasks: Sequence[Task], *, return_failures: bool = False) -> list[Any]:
         """Answer every task; results in task order.
 
         Cache hits never execute; misses go to the executor in one batch
         (preserving whatever parallelism it offers) and are stored on the
         way out.
+
+        With ``return_failures=True`` a task whose retries are exhausted
+        does not abort the batch: its slot in the result list holds the
+        :class:`~repro.runtime.task.TaskError` instead of a value (check
+        with ``isinstance``), the failure is counted in ``stats["failed"]``,
+        and — crucially — nothing is cached for it, so a rerun retries it.
         """
         tasks = list(tasks)
         values: list[Any] = [None] * len(tasks)
@@ -117,10 +124,20 @@ class TaskRuntime:
                     continue
             to_run.append(index)
         if to_run:
-            outcomes = self.executor.run(
-                [tasks[index] for index in to_run], timeout=self.timeout, retries=self.retries
-            )
+            run_kwargs: dict[str, Any] = {"timeout": self.timeout, "retries": self.retries}
+            if return_failures:
+                # Only passed when needed: any executor honouring the plain
+                # run(tasks, timeout=..., retries=...) contract still works
+                # on the default (propagating) path.
+                run_kwargs["propagate_errors"] = False
+            outcomes = self.executor.run([tasks[index] for index in to_run], **run_kwargs)
             for index, outcome in zip(to_run, outcomes):
+                if outcome.error is not None:
+                    values[index] = outcome.error
+                    self.stats["failed"] += 1
+                    self.stats["attempts"] += outcome.attempts
+                    self.stats["task_seconds"] += outcome.duration
+                    continue
                 values[index] = outcome.value
                 self._count_execution(tasks[index], outcome)
                 if use_cache:

@@ -16,7 +16,10 @@ Failure policy (shared):
   waiting at the deadline);
 - exhausted tasks raise :class:`~repro.runtime.task.TaskError` (or
   :class:`~repro.runtime.task.TaskTimeoutError` when the last failure was
-  a timeout).
+  a timeout) — unless ``propagate_errors=False``, in which case the
+  exhaustion error is *returned* on the outcome's ``error`` field and the
+  rest of the batch keeps running.  That is how a sharded experiment grid
+  survives one poisoned cell without losing every other cell's work.
 
 The process executor degrades gracefully: if the worker pool cannot start
 (sandboxes without semaphores, fork bombsquad limits) or a payload cannot
@@ -41,12 +44,19 @@ __all__ = ["TaskOutcome", "SerialExecutor", "ProcessExecutor"]
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """One task's result plus execution bookkeeping."""
+    """One task's result plus execution bookkeeping.
+
+    ``error`` is ``None`` for a successful task; under
+    ``propagate_errors=False`` an exhausted task comes back with ``value
+    None`` and its :class:`~repro.runtime.task.TaskError` here instead of
+    raising.
+    """
 
     value: Any
     attempts: int
     duration: float
     executor: str
+    error: TaskError | None = None
 
 
 def _validate_run_args(tasks: Sequence[Task], timeout: float | None, retries: int) -> list[Task]:
@@ -92,14 +102,17 @@ class SerialExecutor:
         *,
         timeout: float | None = None,
         retries: int = 0,
+        propagate_errors: bool = True,
     ) -> list[TaskOutcome]:
         tasks = _validate_run_args(tasks, timeout, retries)
         outcomes: list[TaskOutcome] = []
         for task in tasks:
-            outcomes.append(self._run_one(task, timeout, retries))
+            outcomes.append(self._run_one(task, timeout, retries, propagate_errors))
         return outcomes
 
-    def _run_one(self, task: Task, timeout: float | None, retries: int) -> TaskOutcome:
+    def _run_one(
+        self, task: Task, timeout: float | None, retries: int, propagate_errors: bool = True
+    ) -> TaskOutcome:
         watch = Stopwatch()
         last_error: BaseException = TaskError("no attempts made")
         timed_out = False
@@ -116,7 +129,12 @@ class SerialExecutor:
                 last_error, timed_out = TaskTimeoutError(f"attempt exceeded {timeout}s"), True
                 continue
             return TaskOutcome(value=value, attempts=attempt + 1, duration=watch.elapsed(), executor=self.name)
-        raise _exhausted(task, retries + 1, last_error, timed_out)
+        failure = _exhausted(task, retries + 1, last_error, timed_out)
+        if propagate_errors:
+            raise failure
+        return TaskOutcome(
+            value=None, attempts=retries + 1, duration=watch.elapsed(), executor=self.name, error=failure
+        )
 
 
 class ProcessExecutor:
@@ -140,6 +158,7 @@ class ProcessExecutor:
         *,
         timeout: float | None = None,
         retries: int = 0,
+        propagate_errors: bool = True,
     ) -> list[TaskOutcome]:
         tasks = _validate_run_args(tasks, timeout, retries)
         if not tasks:
@@ -152,9 +171,11 @@ class ProcessExecutor:
                 UserWarning,
                 stacklevel=2,
             )
-            return SerialExecutor().run(tasks, timeout=timeout, retries=retries)
+            return SerialExecutor().run(
+                tasks, timeout=timeout, retries=retries, propagate_errors=propagate_errors
+            )
         try:
-            return self._run_pooled(pool, tasks, timeout, retries)
+            return self._run_pooled(pool, tasks, timeout, retries, propagate_errors)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
 
@@ -164,6 +185,7 @@ class ProcessExecutor:
         tasks: list[Task],
         timeout: float | None,
         retries: int,
+        propagate_errors: bool = True,
     ) -> list[TaskOutcome]:
         serial = SerialExecutor()
         watches = [Stopwatch() for _ in tasks]
@@ -188,7 +210,7 @@ class ProcessExecutor:
                     UserWarning,
                     stacklevel=2,
                 )
-                outcomes[index] = serial._run_one(task, timeout, retries)
+                outcomes[index] = serial._run_one(task, timeout, retries, propagate_errors)
                 futures.pop(index, None)
                 pending.pop(index, None)
 
@@ -217,7 +239,7 @@ class ProcessExecutor:
                         futures.pop(fallback_index, None)
                         pending.pop(fallback_index, None)
                         outcomes[fallback_index] = serial._run_one(
-                            tasks[fallback_index], timeout, retries
+                            tasks[fallback_index], timeout, retries, propagate_errors
                         )
                     break
                 except Exception as error:  # deliberate: failures are retryable
@@ -229,7 +251,7 @@ class ProcessExecutor:
                             stacklevel=2,
                         )
                         pending.pop(index, None)
-                        outcomes[index] = serial._run_one(task, timeout, retries)
+                        outcomes[index] = serial._run_one(task, timeout, retries, propagate_errors)
                         continue
                     last_errors[index] = (error, False)
                 else:
@@ -245,7 +267,18 @@ class ProcessExecutor:
                     continue
                 if attempt >= retries:
                     error, timed_out = last_errors[index]
-                    raise _exhausted(task, attempt + 1, error, timed_out)
+                    failure = _exhausted(task, attempt + 1, error, timed_out)
+                    if propagate_errors:
+                        raise failure
+                    pending.pop(index, None)
+                    outcomes[index] = TaskOutcome(
+                        value=None,
+                        attempts=attempt + 1,
+                        duration=watches[index].elapsed(),
+                        executor=self.name,
+                        error=failure,
+                    )
+                    continue
                 pending[index] = attempt + 1
                 submit(index, attempt + 1)
 

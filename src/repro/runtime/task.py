@@ -9,6 +9,17 @@ worker resolves ``fn_name`` against the registry (every worker imports
 :mod:`repro.runtime.tasks`, which registers the built-ins) and materializes
 the generator from the seed path locally.
 
+Two naming schemes coexist in the registry:
+
+- plain names (``"automl.fit"``) for the built-ins registered by
+  :mod:`repro.runtime.tasks`;
+- qualified ``"package.module:function"`` names for *plugin* task families
+  that live above the runtime in the import DAG (e.g.
+  :mod:`repro.experiments.tasks`).  A worker that has not imported the
+  plugin module resolves the name by importing the module part on demand,
+  so upper layers can submit their own task functions without the runtime
+  ever importing them.
+
 Retries extend the seed path instead of re-drawing from a parent stream:
 attempt ``k`` of a task with path ``p`` runs with ``(*p, _RETRY_KEY, k)``
 — fresh entropy, yet fully determined by the task identity, so a retried
@@ -18,6 +29,7 @@ they succeed on the same attempt number.
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
@@ -98,9 +110,20 @@ def task(name: str) -> Callable[[TaskFn], TaskFn]:
     Task functions must live at module level in a module every worker
     imports (the built-ins live in :mod:`repro.runtime.tasks`); a worker
     process resolves tasks by name, so closures cannot cross the boundary.
+    Qualified ``"module:function"`` names must be registered in exactly the
+    module they point at — that is what lets :func:`resolve_task` import
+    the module on demand in a worker that has never seen it.
     """
 
     def decorator(fn: TaskFn) -> TaskFn:
+        if ":" in name:
+            module_name = name.partition(":")[0]
+            if module_name != getattr(fn, "__module__", None):
+                raise TaskError(
+                    f"qualified task {name!r} must be registered in module "
+                    f"{module_name!r}, not {fn.__module__!r} — workers resolve "
+                    "it by importing the module the name points at"
+                )
         existing = _REGISTRY.get(name)
         if existing is not None and existing is not fn:
             raise TaskError(f"duplicate task name {name!r}")
@@ -111,15 +134,32 @@ def task(name: str) -> Callable[[TaskFn], TaskFn]:
 
 
 def resolve_task(name: str) -> TaskFn:
-    """Look up a registered task function; raises :class:`TaskError` if absent."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
+    """Look up a registered task function; raises :class:`TaskError` if absent.
+
+    A qualified ``"module:function"`` name that is not yet registered
+    triggers an import of its module part — registration happens at import
+    time, so after the import the name resolves like any other.  This is
+    how plugin task families (e.g. the experiment grid cells) reach worker
+    processes without the runtime layer importing them.
+    """
+    fn = _REGISTRY.get(name)
+    if fn is None and ":" in name:
+        module_name = name.partition(":")[0]
+        try:
+            importlib.import_module(module_name)
+        except ImportError as error:
+            raise TaskError(
+                f"task {name!r} names module {module_name!r}, which cannot "
+                f"be imported: {error}"
+            ) from error
+        fn = _REGISTRY.get(name)
+    if fn is None:
         raise TaskError(
             f"unknown task {name!r}; registered: {sorted(_REGISTRY)} "
-            "(task functions must be registered at import time in repro.runtime.tasks "
-            "or another module the worker imports)"
-        ) from None
+            "(task functions must be registered at import time in repro.runtime.tasks, "
+            "or under a qualified 'module:function' name a worker can import on demand)"
+        )
+    return fn
 
 
 def registered_tasks() -> list[str]:

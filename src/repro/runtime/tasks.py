@@ -10,6 +10,12 @@ submitting process.
 The ``probe.*`` family exists for diagnostics and fault-injection tests:
 cheap, dependency-free tasks that exercise the seed-path, retry, and
 timeout machinery without dragging an AutoML fit into every test.
+
+Layers above the runtime contribute their own task families under
+qualified ``"module:function"`` names (e.g. the experiment grid cells in
+:mod:`repro.experiments.tasks`); those register when their module is
+imported — on demand in a worker, via :func:`repro.runtime.task.resolve_task`
+— and never appear here, keeping the import DAG acyclic.
 """
 
 from __future__ import annotations

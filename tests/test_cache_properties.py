@@ -1,0 +1,153 @@
+"""Property-based tests for the artifact cache (hypothesis).
+
+The cache's two load-bearing promises, attacked with generated inputs
+rather than hand-picked ones:
+
+1. **Key stability** — ``digest_payload`` / ``task_key`` are functions of
+   payload *content*: dict insertion order, numpy scalar wrapping, and
+   provenance round-trips must not move a key (a moved key silently
+   forfeits every cached artifact).
+2. **Prune never corrupts** — after ``prune()`` to any budget, every
+   surviving entry still loads to exactly the value that was stored.
+
+Also pins the digest/round-trip behaviour of the payload types the
+experiment grid actually ships: ``LabeledDataset``, ``AutoMLSpec``,
+ndarrays, and nested feedback mappings.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.automl.spec import AutoMLSpec
+from repro.core.subspace import FeatureDomain
+from repro.datasets.scream import LabeledDataset
+from repro.runtime import ArtifactCache, Provenance, Task, digest_payload, task_key
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+# JSON-ish payload scalars the digest canonicalizes structurally.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+payloads = st.dictionaries(st.text(min_size=1, max_size=10), scalars, max_size=6)
+
+
+def _shuffled(mapping: dict, order: list[int]) -> dict:
+    items = list(mapping.items())
+    return {items[i][0]: items[i][1] for i in order}
+
+
+class TestDigestStability:
+    @SETTINGS
+    @given(payload=payloads, data=st.data())
+    def test_digest_ignores_dict_insertion_order(self, payload, data):
+        order = data.draw(st.permutations(range(len(payload))))
+        assert digest_payload(payload) == digest_payload(_shuffled(payload, list(order)))
+
+    @SETTINGS
+    @given(payload=payloads, seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_task_key_ignores_label_and_dict_order(self, payload, seed):
+        reordered = _shuffled(payload, list(reversed(range(len(payload)))))
+        a = Task(fn_name="probe.draw", payload=payload, seed_path=(seed,), label="a")
+        b = Task(fn_name="probe.draw", payload=reordered, seed_path=(seed,), label="something else")
+        assert task_key(a) == task_key(b)
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_seed_path_always_distinguishes(self, seed):
+        a = Task(fn_name="probe.draw", payload={"n": 1}, seed_path=(seed,))
+        b = Task(fn_name="probe.draw", payload={"n": 1}, seed_path=(seed, 0))
+        assert task_key(a) != task_key(b)
+
+    @SETTINGS
+    @given(value=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_numpy_scalars_digest_like_python_scalars(self, value):
+        assert digest_payload({"n": value}) == digest_payload({"n": np.int64(value)})
+
+    @SETTINGS
+    @given(key=st.text(min_size=1, max_size=64))
+    def test_provenance_digests_by_key_not_value(self, key):
+        # The grid's fix for non-canonical model pickles: two different
+        # in-memory values with the same provenance share a digest, and
+        # the wrapped value's bytes never enter the hash.
+        same = digest_payload({"m": Provenance(key, object())})
+        assert same == digest_payload({"m": Provenance(key, np.arange(5))})
+        assert same != digest_payload({"m": Provenance(key + "x", object())})
+
+
+class TestGridPayloadTypes:
+    """Digest stability + cache round-trip for what the grid really ships."""
+
+    def _dataset(self, rng: np.random.Generator) -> LabeledDataset:
+        n = int(rng.integers(3, 12))
+        names = [f"f{i}" for i in range(4)]
+        return LabeledDataset(
+            X=rng.normal(size=(n, 4)),
+            y=rng.integers(0, 2, size=n),
+            feature_names=names,
+            domains=[FeatureDomain(name, 0.0, 1.0) for name in names],
+        )
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_dataset_payload_round_trips_with_stable_digest(self, seed, tmp_path_factory):
+        rng = np.random.default_rng(seed)
+        dataset = self._dataset(rng)
+        payload = {"train": dataset, "factory": AutoMLSpec(n_iterations=3, ensemble_size=2)}
+        digest = digest_payload(payload)
+        # A pickle round-trip (what crossing a process boundary or the
+        # cache does to a payload) must not move the digest.
+        assert digest_payload(pickle.loads(pickle.dumps(payload))) == digest
+
+        cache = ArtifactCache(tmp_path_factory.mktemp("cache"))
+        cache.store("ab" + digest[2:], payload)
+        hit, loaded = cache.load("ab" + digest[2:])
+        assert hit
+        np.testing.assert_array_equal(loaded["train"].X, dataset.X)
+        np.testing.assert_array_equal(loaded["train"].y, dataset.y)
+        assert digest_payload(loaded) == digest
+
+    @SETTINGS
+    @given(
+        threshold=st.one_of(st.none(), st.floats(0.01, 10.0)),
+        grid_size=st.integers(4, 64),
+    )
+    def test_feedback_mapping_digest_is_order_independent(self, threshold, grid_size):
+        forward = {"threshold": threshold, "threshold_scale": 2.0, "grid_size": grid_size}
+        backward = {"grid_size": grid_size, "threshold_scale": 2.0, "threshold": threshold}
+        assert digest_payload(forward) == digest_payload(backward)
+
+
+class TestPruneNeverCorrupts:
+    @SETTINGS
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=400), min_size=1, max_size=12),
+        budget_fraction=st.floats(min_value=0.0, max_value=1.2),
+    )
+    def test_survivors_load_exactly_after_prune(self, sizes, budget_fraction, tmp_path_factory):
+        cache = ArtifactCache(tmp_path_factory.mktemp("cache"))
+        stored: dict[str, bytes] = {}
+        for index, size in enumerate(sizes):
+            key = f"{index:02x}" + "0" * 62
+            value = bytes(range(256)) * (size // 256) + bytes(size % 256)
+            cache.store(key, value)
+            stored[key] = value
+        total = sum(cache.path_for(key).stat().st_size for key in stored)
+        cache.prune(int(total * budget_fraction))
+        for key, value in stored.items():
+            if cache.path_for(key).exists():
+                hit, loaded = cache.load(key)
+                assert hit and loaded == value
+        assert cache.corrupt_evictions == 0

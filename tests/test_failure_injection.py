@@ -3,7 +3,15 @@
 The AutoML search tolerates individual candidate crashes (as AutoSklearn
 does); everything else in the stack must raise a :class:`ReproError`
 subclass with an actionable message rather than produce silent garbage.
+
+``TestGridDegradation`` pins the sharded experiment grid's contract: one
+poisoned (repeat, strategy) cell — a raise, a timeout, a corrupted cache
+entry — degrades that cell's algorithm and is reported in the experiment
+record, while every healthy cell's scores stay bitwise-untouched.  Only
+when nothing survives does the failure propagate.
 """
+
+import time
 
 import numpy as np
 import pytest
@@ -11,7 +19,10 @@ import pytest
 from repro.automl import AutoMLClassifier, ModelFamily, RandomSearch
 from repro.automl.spaces import FloatRange, default_model_families
 from repro.exceptions import ReproError, SearchBudgetError, ValidationError
+from repro.experiments import Table1Config, run_table1
+from repro.experiments.runner import STRATEGIES, AugmentationResult, strategy
 from repro.ml import GaussianNB
+from repro.runtime import ArtifactCache, SerialExecutor, TaskError, TaskRuntime
 
 
 class _AlwaysCrashes:
@@ -100,3 +111,124 @@ class TestEmulatorFailures:
         scenario = NetworkScenario(bandwidth_mbps=100.0, rtt_ms=5.0, loss_rate=0.0, n_flows=8)
         with pytest.raises(EmulationError, match="events"):
             run_packet_scenario(scenario, "cubic", duration=5.0, max_events=500, random_state=0)
+
+
+# --------------------------------------------------------------------------
+# Sharded-grid degradation
+# --------------------------------------------------------------------------
+
+TINY_GRID = Table1Config(
+    n_train=60,
+    n_test=80,
+    n_pool=60,
+    n_feedback=10,
+    n_test_sets=4,
+    n_repeats=1,
+    cross_runs=2,
+    automl_iterations=4,
+    ensemble_size=3,
+    min_distinct_members=2,
+    grid_size=8,
+)
+
+
+def _ensure_injection_strategies() -> None:
+    """Register the poisoned strategies once per process.
+
+    Cell seed paths hash the strategy *name* (``strategy_key``), so adding
+    these to the registry cannot move any real strategy's random stream —
+    ``test_clean_cells_unaffected_by_poisoned_neighbor`` pins exactly that.
+    """
+    if "test_boom" not in STRATEGIES:
+
+        @strategy("test_boom")
+        def _boom(ctx) -> AugmentationResult:
+            raise RuntimeError("injected cell failure")
+
+    if "test_sleep" not in STRATEGIES:
+
+        @strategy("test_sleep")
+        def _sleep(ctx) -> AugmentationResult:
+            time.sleep(4.0)
+            return AugmentationResult(train=ctx.train, points_added=0)
+
+
+class TestGridDegradation:
+    @pytest.fixture(scope="class")
+    def poisoned_run(self):
+        _ensure_injection_strategies()
+        return run_table1(
+            TINY_GRID,
+            algorithms=["no_feedback", "test_boom", "within_ale_pool"],
+            runtime=TaskRuntime(SerialExecutor()),
+        )
+
+    def test_poisoned_cell_drops_algorithm_not_run(self, poisoned_run):
+        table, record = poisoned_run
+        assert table.names() == ["no_feedback", "within_ale_pool"]
+        grid = record.metadata["grid"]
+        assert grid["dropped_algorithms"] == ["test_boom"]
+        [failure] = grid["failed_cells"]
+        assert failure["algorithm"] == "test_boom"
+        assert failure["stage"] == "cell"
+        assert "injected cell failure" in failure["error"]
+        assert grid["failed_repeats"] == []
+
+    def test_clean_cells_unaffected_by_poisoned_neighbor(self, poisoned_run):
+        table, _ = poisoned_run
+        clean_table, clean_record = run_table1(
+            TINY_GRID,
+            algorithms=["no_feedback", "within_ale_pool"],
+            runtime=TaskRuntime(SerialExecutor()),
+        )
+        assert clean_record.metadata["grid"]["failed_cells"] == []
+        for name in ("no_feedback", "within_ale_pool"):
+            np.testing.assert_array_equal(table.scores(name).scores, clean_table.scores(name).scores)
+
+    def test_every_cell_failing_raises(self):
+        _ensure_injection_strategies()
+        with pytest.raises(TaskError, match="injected cell failure"):
+            run_table1(
+                TINY_GRID,
+                algorithms=["test_boom"],
+                runtime=TaskRuntime(SerialExecutor()),
+            )
+
+    def test_corrupted_cache_entries_recompute_identically(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = TaskRuntime(SerialExecutor(), cache=ArtifactCache(cache_dir))
+        cold_table, _ = run_table1(
+            TINY_GRID, algorithms=["no_feedback"], runtime=cold
+        )
+        entries = list(cache_dir.glob("*/*.pkl"))
+        assert entries
+        for entry in entries:
+            entry.write_bytes(b"not a pickle")
+
+        warm = TaskRuntime(SerialExecutor(), cache=ArtifactCache(cache_dir))
+        warm_table, warm_record = run_table1(
+            TINY_GRID, algorithms=["no_feedback"], runtime=warm
+        )
+        # Every poisoned entry is evicted and recomputed; results stay
+        # bitwise-identical and nothing is silently degraded.
+        assert warm.cache.corrupt_evictions == len(entries)
+        assert warm.stats["executed"] == cold.stats["executed"] > 0
+        assert warm_record.metadata["grid"]["failed_cells"] == []
+        np.testing.assert_array_equal(
+            cold_table.scores("no_feedback").scores, warm_table.scores("no_feedback").scores
+        )
+
+    @pytest.mark.slow
+    def test_cell_timeout_degrades_gracefully(self):
+        _ensure_injection_strategies()
+        table, record = run_table1(
+            TINY_GRID,
+            algorithms=["no_feedback", "test_sleep"],
+            runtime=TaskRuntime(SerialExecutor(), timeout=2.5),
+        )
+        assert table.names() == ["no_feedback"]
+        grid = record.metadata["grid"]
+        assert grid["dropped_algorithms"] == ["test_sleep"]
+        [failure] = grid["failed_cells"]
+        assert failure["algorithm"] == "test_sleep"
+        assert "timed out" in failure["error"]

@@ -1,0 +1,178 @@
+"""Golden-master regression harness for the sharded experiment grid.
+
+The acceptance property of the grid sharding: ``run_table1`` / ``run_ucl``
+produce **bitwise-identical** scores no matter how the grid executes —
+serial in-process, on a process pool, with tasks submitted in a shuffled
+order, or answered entirely from a warm artifact cache.  The checked-in
+fixtures under ``tests/golden/`` pin the exact floating-point scores of a
+small-but-real configuration, so any change that moves a random stream
+(reseeding, re-sharding, reordering draws) fails loudly instead of
+silently shifting published numbers.
+
+Fixtures are JSON: ``repr`` round-trips every IEEE-754 double exactly, so
+equality below is ``==`` on floats, not ``allclose``.  Regenerate after an
+*intentional* stream change with::
+
+    PYTHONPATH=src python tests/test_golden_master.py --regenerate
+
+The serial and cache-warm regimes run in tier-1; the process-pool and
+shuffled-submission regimes are ``@pytest.mark.slow`` (select with
+``pytest -m slow``) because each one re-runs the full grid.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import Table1Config, UCLConfig, run_table1, run_ucl
+from repro.runtime import ArtifactCache, ProcessExecutor, SerialExecutor, TaskRuntime
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+TABLE1_FIXTURE = GOLDEN_DIR / "table1_golden.json"
+UCL_FIXTURE = GOLDEN_DIR / "ucl_golden.json"
+
+# Small but real: every wave of the grid (netsim datasets, initial fits,
+# cells) runs for real, across 2 repeats and a strategy mix covering the
+# oracle path (cross_ale), the pool path (within_ale_pool), and both
+# baselines.  ~7 s serial.
+GOLDEN_TABLE1 = Table1Config(
+    n_train=60,
+    n_test=80,
+    n_pool=60,
+    n_feedback=10,
+    n_test_sets=4,
+    n_repeats=2,
+    cross_runs=2,
+    automl_iterations=4,
+    ensemble_size=3,
+    min_distinct_members=2,
+    grid_size=8,
+)
+TABLE1_ALGOS = ["no_feedback", "uniform", "cross_ale", "within_ale_pool"]
+
+GOLDEN_UCL = UCLConfig(
+    n_samples=400,
+    n_feedback=16,
+    n_test_sets=4,
+    n_resplits=2,
+    cross_runs=2,
+    automl_iterations=4,
+    ensemble_size=3,
+    min_distinct_members=2,
+    grid_size=8,
+)
+UCL_ALGOS = ["no_feedback", "within_ale_pool", "confidence"]
+
+GRID_TASKS = ("repro.experiments.tasks:scream_dataset",
+              "repro.experiments.tasks:firewall_dataset",
+              "repro.experiments.tasks:grid_cell",
+              "automl.fit")
+
+
+class ShuffledRuntime(TaskRuntime):
+    """A runtime that reverses submission order before executing.
+
+    Cell streams hang off ``(repeat_seed, _CELL_KEY, strategy_key(name))``
+    — pure functions of cell identity — so schedule cannot matter.  This
+    subclass proves it without needing a racy parallel interleaving.
+    """
+
+    def run(self, tasks, **kwargs):
+        tasks = list(tasks)
+        return list(reversed(super().run(list(reversed(tasks)), **kwargs)))
+
+
+def _scores_dict(table) -> dict[str, list[float]]:
+    return {name: [float(s) for s in table.scores(name).scores] for name in table.names()}
+
+
+def _run_table1(runtime=None):
+    table, record = run_table1(GOLDEN_TABLE1, algorithms=list(TABLE1_ALGOS), runtime=runtime)
+    return _scores_dict(table), record
+
+
+def _run_ucl(runtime=None):
+    table, record = run_ucl(GOLDEN_UCL, algorithms=list(UCL_ALGOS), runtime=runtime)
+    return _scores_dict(table), record
+
+
+def _load(path: Path) -> dict[str, list[float]]:
+    return json.loads(path.read_text(encoding="utf-8"))["scores"]
+
+
+class TestGoldenMaster:
+    def test_table1_serial_matches_fixture(self):
+        scores, record = _run_table1()
+        assert scores == _load(TABLE1_FIXTURE)
+        grid = record.metadata["grid"]
+        assert grid["failed_cells"] == [] and grid["dropped_algorithms"] == []
+        assert grid["n_cells"] == GOLDEN_TABLE1.n_repeats * len(TABLE1_ALGOS)
+
+    def test_ucl_serial_matches_fixture(self):
+        scores, record = _run_ucl()
+        assert scores == _load(UCL_FIXTURE)
+        assert record.metadata["grid"]["failed_cells"] == []
+
+    def test_table1_cache_warm_is_bitwise_identical_and_computes_nothing(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        cold = TaskRuntime(SerialExecutor(), cache=cache, cache_mode="on")
+        cold_scores, _ = _run_table1(cold)
+        assert cold_scores == _load(TABLE1_FIXTURE)
+        assert cold.stats["cache_stores"] == cold.stats["executed"] > 0
+
+        warm = TaskRuntime(SerialExecutor(), cache=cache, cache_mode="on")
+        warm_scores, _ = _run_table1(warm)
+        assert warm_scores == cold_scores
+        # The whole grid — netsim datasets, AutoML fits, cells — must be
+        # answered from the cache: zero executions of any task family.
+        assert warm.stats["executed"] == 0
+        assert all(warm.executions_of(name) == 0 for name in GRID_TASKS)
+        assert warm.stats["cache_hits"] == cold.stats["cache_stores"]
+
+    @pytest.mark.slow
+    def test_table1_process_pool_matches_fixture(self):
+        runtime = TaskRuntime(ProcessExecutor(max_workers=2))
+        scores, _ = _run_table1(runtime)
+        assert scores == _load(TABLE1_FIXTURE)
+        assert runtime.stats["executed"] > 0
+
+    @pytest.mark.slow
+    def test_table1_shuffled_submission_matches_fixture(self):
+        scores, _ = _run_table1(ShuffledRuntime(SerialExecutor()))
+        assert scores == _load(TABLE1_FIXTURE)
+
+    @pytest.mark.slow
+    def test_ucl_cache_warm_matches_fixture(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        _run_ucl(TaskRuntime(SerialExecutor(), cache=cache, cache_mode="on"))
+        warm = TaskRuntime(SerialExecutor(), cache=cache, cache_mode="on")
+        warm_scores, _ = _run_ucl(warm)
+        assert warm_scores == _load(UCL_FIXTURE)
+        assert warm.stats["executed"] == 0
+
+
+def _regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for path, runner, config, algos in (
+        (TABLE1_FIXTURE, _run_table1, GOLDEN_TABLE1, TABLE1_ALGOS),
+        (UCL_FIXTURE, _run_ucl, GOLDEN_UCL, UCL_ALGOS),
+    ):
+        scores, _ = runner()
+        payload = {
+            "config": {k: getattr(config, k) for k in type(config).__dataclass_fields__},
+            "algorithms": list(algos),
+            "scores": scores,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {path} ({sum(len(v) for v in scores.values())} scores)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" not in sys.argv:
+        raise SystemExit("usage: python tests/test_golden_master.py --regenerate")
+    _regenerate()

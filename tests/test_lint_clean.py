@@ -1,9 +1,12 @@
 """Tier-1 gate: the shipped tree is reprolint-clean.
 
-Runs the full rule set programmatically over ``src/repro`` with the real
-``[tool.reprolint]`` configuration from ``pyproject.toml`` and asserts
-zero findings — the repo stays lint-clean without any external CI
-infrastructure.
+Runs the full rule set programmatically over ``src/repro`` *and*
+``benchmarks/`` with the real ``[tool.reprolint]`` configuration from
+``pyproject.toml`` and asserts zero findings — the repo stays lint-clean
+without any external CI infrastructure.  Benchmarks adopted the RL001
+rng-discipline contract (seeds or :func:`repro.rng.check_random_state`,
+never bare ``default_rng``), since a benchmark seeded outside the
+contract cannot back a reported number.
 """
 
 from pathlib import Path
@@ -19,6 +22,12 @@ class TestLintClean:
         config = load_config(PYPROJECT)
         engine = LintEngine(config)
         findings = engine.lint_paths([REPO_ROOT / "src" / "repro"], root=REPO_ROOT)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_benchmarks_tree_has_zero_findings(self):
+        config = load_config(PYPROJECT)
+        engine = LintEngine(config)
+        findings = engine.lint_paths([REPO_ROOT / "benchmarks"], root=REPO_ROOT)
         assert findings == [], "\n".join(f.render() for f in findings)
 
     def test_gate_runs_all_rules(self):
