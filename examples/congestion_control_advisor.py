@@ -18,6 +18,7 @@ import numpy as np
 from repro.automl import AutoMLClassifier
 from repro.core import AleFeedback, ascii_ale_plot, within_ale_committee
 from repro.ml import balanced_accuracy, train_test_split
+from repro.rng import check_random_state
 from repro.netsim import (
     DEFAULT_SPACE,
     PROTOCOLS,
@@ -47,7 +48,7 @@ print()
 print("=" * 72)
 print("2) Training a protocol advisor (multi-class: best protocol wins)")
 print("=" * 72)
-rng = np.random.default_rng(SEED)
+rng = check_random_state(SEED)
 scenarios = DEFAULT_SPACE.sample(350, random_state=rng)
 X = np.array([s.as_features() for s in scenarios])
 labels = []

@@ -24,12 +24,13 @@ from repro.domain import (
     TopologyPriorBuilder,
 )
 from repro.ml import balanced_accuracy, train_test_split
+from repro.rng import check_random_state
 
 SEED = 23
 
 print("1) Data: Scream-vs-rest with an extra known-noise column appended")
 data = generate_scream_dataset(400, random_state=SEED)
-rng = np.random.default_rng(SEED)
+rng = check_random_state(SEED)
 noise = rng.normal(size=(data.n_samples, 1))
 X = np.hstack([data.X, noise])
 feature_names = data.feature_names + ["ambient_noise"]

@@ -149,6 +149,17 @@ class AutoMLClassifier:
         check_is_fitted(self, "ensemble_")
         return self.ensemble_.predict_proba(check_array(X))
 
+    def predict_batch(self, X) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One member sweep answering ``(predictions, proba, member_stack)``.
+
+        The serving layer's batch entry point: predictions here are
+        bitwise-identical to :meth:`predict` (same member sweep, same
+        weighted accumulation), and the per-member probability stack rides
+        along for committee-disagreement monitoring at no extra cost.
+        """
+        check_is_fitted(self, "ensemble_")
+        return self.ensemble_.predict_batch(check_array(X))
+
     def score(self, X, y) -> float:
         check_is_fitted(self, "ensemble_")
         return self.ensemble_.score(check_array(X), y)

@@ -87,11 +87,44 @@ class EnsembleClassifier:
 
     def predict_proba(self, X) -> np.ndarray:
         check_is_fitted(self, "fitted_")
+        return self._weighted_proba(self.member_proba(X))
+
+    def member_proba(self, X) -> np.ndarray:
+        """Aligned per-member probabilities, shape ``(n_members, n, n_classes)``.
+
+        The single member sweep everything else derives from: the weighted
+        ensemble probabilities are an accumulation over this stack, and the
+        serving layer's committee-disagreement monitor is its per-point
+        standard deviation — one pass over the members answers both.
+        """
+        check_is_fitted(self, "fitted_")
+        return np.stack([self._aligned_member_proba(member, X) for member in self.members])
+
+    def _weighted_proba(self, stack: np.ndarray) -> np.ndarray:
+        """Collapse a member stack to ensemble probabilities.
+
+        Accumulates in member order with the same operation sequence the
+        historical loop used, so refactoring through the stack kept
+        ``predict_proba`` bitwise-identical.
+        """
         total = None
-        for member, weight in zip(self.members, self.weights):
-            proba = self._aligned_member_proba(member, X)
+        for weight, proba in zip(self.weights, stack):
             total = weight * proba if total is None else total + weight * proba
         return total
+
+    def predict_batch(self, X) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One member sweep answering ``(predictions, proba, member_stack)``.
+
+        The serving engine's batch path: a micro-batch needs the hard
+        predictions for the response, the ensemble probabilities for
+        confidence, and the per-member stack for the uncertainty monitor —
+        computing them from one ``member_proba`` pass means a served batch
+        costs exactly one offline ``predict_proba`` sweep.
+        """
+        check_is_fitted(self, "fitted_")
+        stack = self.member_proba(X)
+        proba = self._weighted_proba(stack)
+        return self.classes_[np.argmax(proba, axis=1)], proba, stack
 
     def _aligned_member_proba(self, member, X) -> np.ndarray:
         proba = member.predict_proba(X)

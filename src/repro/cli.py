@@ -9,8 +9,10 @@ table or figure without touching Python:
 - ``figure2``  — the firewall port ALE plots;
 - ``sweep``    — the §4 threshold sensitivity analysis;
 - ``emulate``  — run one network scenario through every protocol;
-- ``lint``     — run reprolint (RL001-RL006) over the source tree;
-- ``cache``    — inspect/clear/prune the artifact cache.
+- ``lint``     — run reprolint (RL001-RL007) over the source tree;
+- ``cache``    — inspect/clear/prune the artifact cache;
+- ``registry`` — inspect/promote/rollback served model versions;
+- ``serve``    — serve a registered model over the JSON HTTP API.
 
 ``table1`` and ``ucl`` accept ``--workers N`` and ``--cache
 {on,off,refresh}``.  The whole experiment grid is sharded through the
@@ -21,7 +23,10 @@ under ``~/.cache/repro-ale``; override with ``--cache-dir`` or
 ``$REPRO_CACHE_DIR``) answers a warm rerun per cell without touching the
 network emulator or AutoML at all.  Results are bitwise-identical
 whatever the worker count or cache state; a failed cell is dropped and
-reported instead of crashing the run.
+reported instead of crashing the run.  Because failed cells are never
+cached, ``--resume`` (which forces ``--cache on``) re-executes exactly
+the failed/missing cells of a previous degraded run and replays the rest
+from disk, reporting the resumed counts in the record's grid metadata.
 
 Results print to stdout; ``--output DIR`` additionally writes the JSON/CSV
 record bundle.
@@ -64,12 +69,24 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-ale)",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume a degraded run from its partial cache: forces --cache on, so only "
+            "failed/missing cells re-execute (counts land in the record's grid metadata)"
+        ),
+    )
 
 
 def _runtime_from_args(args: argparse.Namespace):
     """Build the TaskRuntime the flags describe, or ``None`` for the implicit path."""
     if args.workers < 0:
         raise SystemExit(f"--workers must be >= 0, got {args.workers}")
+    if getattr(args, "resume", False):
+        if args.cache == "refresh":
+            raise SystemExit("--resume re-uses cached cells; it cannot be combined with --cache refresh")
+        args.cache = "on"  # a resume is exactly a warm rerun against the partial cache
     if args.workers == 0 and args.cache == "off":
         return None
     from .runtime import ArtifactCache, ProcessExecutor, SerialExecutor, TaskRuntime
@@ -217,6 +234,58 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_registry(args: argparse.Namespace) -> int:
+    from .serve import ModelRegistry
+
+    registry = ModelRegistry(args.dir)
+    if args.action == "promote":
+        if args.name is None or args.version is None:
+            print("registry promote requires NAME and --version N", file=sys.stderr)
+            return 2
+        registry.promote(args.name, args.version)
+        print(f"promoted {args.name} v{args.version}")
+        return 0
+    if args.action == "rollback":
+        if args.name is None:
+            print("registry rollback requires NAME", file=sys.stderr)
+            return 2
+        version = registry.rollback(args.name)
+        print(f"rolled {args.name} back to v{version}")
+        return 0
+    print(registry.describe())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig, ServeService, serve_http
+
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        queue_bound=args.queue_bound,
+        request_timeout=args.request_timeout,
+    )
+    service = ServeService.from_registry(
+        args.name, directory=args.dir, version=args.version, config=config
+    )
+    server = serve_http(service, host=args.host, port=args.port)
+    health = service.healthz()
+    print(
+        f"serving {health['model']} v{health['version']} on {server.url} "
+        f"(features: {', '.join(health['feature_names'])}; Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    import threading
+
+    try:
+        threading.Event().wait()  # foreground until Ctrl-C
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .devtools.cli import run_lint
 
@@ -274,6 +343,25 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--max-mb", type=float, default=None, help="prune target size in MiB")
     cache.set_defaults(handler=_cmd_cache)
 
+    registry = subparsers.add_parser("registry", help="inspect/promote/rollback served models")
+    registry.add_argument("action", choices=("list", "promote", "rollback"), nargs="?", default="list")
+    registry.add_argument("name", nargs="?", default=None, help="model name (promote/rollback)")
+    registry.add_argument("--version", type=int, default=None, help="version to promote")
+    registry.add_argument("--dir", type=Path, default=None, help="registry directory override")
+    registry.set_defaults(handler=_cmd_registry)
+
+    serve = subparsers.add_parser("serve", help="serve a registered model over HTTP")
+    serve.add_argument("name", help="registered model name")
+    serve.add_argument("--dir", type=Path, default=None, help="registry directory override")
+    serve.add_argument("--version", type=int, default=None, help="serve a specific version (default: promoted)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8750)
+    serve.add_argument("--max-batch", type=int, default=32, help="micro-batch flush size (rows)")
+    serve.add_argument("--max-delay", type=float, default=0.01, help="micro-batch flush deadline (seconds)")
+    serve.add_argument("--queue-bound", type=int, default=256, help="pending requests before shedding")
+    serve.add_argument("--request-timeout", type=float, default=10.0, help="per-request reply timeout (seconds)")
+    serve.set_defaults(handler=_cmd_serve)
+
     emulate = subparsers.add_parser("emulate", help="run one scenario through every protocol")
     emulate.add_argument("--bandwidth", type=float, default=20.0, help="bottleneck Mbps")
     emulate.add_argument("--rtt", type=float, default=40.0, help="base RTT in ms")
@@ -285,7 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     from .devtools.cli import add_lint_arguments
 
-    lint = subparsers.add_parser("lint", help="check code invariants (rules RL001-RL006)")
+    lint = subparsers.add_parser("lint", help="check code invariants (rules RL001-RL007)")
     add_lint_arguments(lint)
     lint.set_defaults(handler=_cmd_lint)
 

@@ -195,6 +195,7 @@ class SubspaceUnion:
     def __init__(self, domains: Sequence[FeatureDomain], boxes: Iterable[Box] = ()):
         self.domains = tuple(domains)
         self.boxes: list[Box] = []
+        self._bounds: tuple[np.ndarray, np.ndarray] | None = None
         for box in boxes:
             self.add(box)
 
@@ -202,6 +203,28 @@ class SubspaceUnion:
         if box.domains != self.domains:
             raise SubspaceError("box domains do not match the union's domains")
         self.boxes.append(box)
+        self._bounds = None  # compiled membership bounds are stale now
+
+    def compiled_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-box ``(lows, highs)`` matrices, shape ``(n_boxes, n_features)``.
+
+        Unconstrained axes get ``±inf``, so a box's membership test is one
+        broadcast comparison instead of a Python loop over constraints —
+        the fast path :meth:`contains` uses.  Built lazily and invalidated
+        by :meth:`add`, because membership is queried per request once a
+        union is registered for online serving.
+        """
+        # getattr: a union unpickled from an artifact written before the
+        # fast path existed has no ``_bounds`` slot in its __dict__.
+        if getattr(self, "_bounds", None) is None:
+            lows = np.full((len(self.boxes), self.n_features), -np.inf)
+            highs = np.full((len(self.boxes), self.n_features), np.inf)
+            for row, box in enumerate(self.boxes):
+                for index, interval in box.constraints.items():
+                    lows[row, index] = interval.low
+                    highs[row, index] = interval.high
+            self._bounds = (lows, highs)
+        return self._bounds
 
     def __bool__(self) -> bool:
         return bool(self.boxes)
@@ -218,10 +241,13 @@ class SubspaceUnion:
 
     def contains(self, X) -> np.ndarray:
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
-        result = np.zeros(X.shape[0], dtype=bool)
-        for box in self.boxes:
-            result |= box.contains(X)
-        return result
+        if not self.boxes:
+            return np.zeros(X.shape[0], dtype=bool)
+        if X.shape[1] != self.n_features:
+            raise SubspaceError(f"expected {self.n_features} features, got {X.shape[1]}")
+        lows, highs = self.compiled_bounds()
+        inside = (X[None, :, :] >= lows[:, None, :]) & (X[None, :, :] <= highs[:, None, :])
+        return inside.all(axis=2).any(axis=0)
 
     def volume(self) -> float:
         """Relative volume of the union, estimated exactly for disjoint

@@ -23,10 +23,19 @@ from .config import (
     config_from_table,
     load_config,
 )
-from .engine import FileContext, LintEngine, Rule, register, registered_rules
+from .engine import (
+    FileContext,
+    LintEngine,
+    ProjectRule,
+    Rule,
+    register,
+    register_project,
+    registered_project_rules,
+    registered_rules,
+)
 from .findings import Finding, Severity
 from .reporters import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, render_json, render_text
-from . import rules as _rules  # noqa: F401 — importing registers RL001-RL005
+from . import rules as _rules  # noqa: F401 — importing registers RL001-RL007
 
 __all__ = [
     "DEFAULT_ALLOW",
@@ -38,8 +47,11 @@ __all__ = [
     "FileContext",
     "LintEngine",
     "Rule",
+    "ProjectRule",
     "register",
+    "register_project",
     "registered_rules",
+    "registered_project_rules",
     "Finding",
     "Severity",
     "EXIT_CLEAN",

@@ -41,7 +41,10 @@ def run_lint(args: argparse.Namespace) -> int:
         print(f"reprolint: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
         return EXIT_USAGE
     engine = LintEngine(config)
-    findings = engine.lint_paths(args.paths, root=args.root)
+    findings = sorted(
+        engine.lint_paths(args.paths, root=args.root)
+        + engine.lint_project(args.paths, root=args.root)
+    )
     renderer = render_json if args.format == "json" else render_text
     print(renderer(findings))
     return EXIT_FINDINGS if findings else EXIT_CLEAN
@@ -50,7 +53,7 @@ def run_lint(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="reprolint",
-        description="AST-based invariant checker for the repro codebase (rules RL001-RL005).",
+        description="AST-based invariant checker for the repro codebase (rules RL001-RL007).",
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

@@ -18,6 +18,9 @@ Recognized table shape::
     [tool.reprolint.layers]        # package -> allowed repro-internal imports
     core = ["featurespace", "ml", "rng", "exceptions"]
     experiments = "*"              # "*" = unrestricted
+
+    [tool.reprolint.deadcode]      # RL007 intentional-public-API allowlist
+    allow = ["repro.serve.*", "main"]   # fnmatch on "module.name" or bare name
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ DEFAULT_LAYERS: dict[str, list[str] | str] = {
     "core": ["featurespace", "ml", "rng", "exceptions"],
     "automl": ["ml", "rng", "exceptions"],
     "runtime": ["automl", "core", "featurespace", "ml", "rng", "exceptions"],
+    "serve": ["automl", "core", "featurespace", "ml", "rng", "exceptions", "runtime"],
     "active": ["core", "featurespace", "ml", "rng", "exceptions"],
     "datasets": ["core", "featurespace", "ml", "netsim", "rng", "exceptions"],
     "domain": ["automl", "core", "featurespace", "ml", "rng", "exceptions"],
@@ -79,6 +83,18 @@ class LintConfig:
     allow: dict[str, list[str]] = field(default_factory=lambda: {k: list(v) for k, v in DEFAULT_ALLOW.items()})
     layers: dict[str, list[str] | str] = field(default_factory=lambda: dict(DEFAULT_LAYERS))
     root_package: str = "repro"
+    #: RL007 allowlist: exported names that are intentional public API even
+    #: when nothing in the tree imports them.  Patterns are ``fnmatch``
+    #: globs matched against both the bare name and ``module.name``.
+    deadcode_allow: list[str] = field(default_factory=list)
+    #: RL007 usage universe: directories (relative to :attr:`base_dir`)
+    #: whose files always count as potential consumers of an export, even
+    #: when the lint run targets a narrower path set — so ``repro lint src``
+    #: does not flag names whose only consumers live in ``tests/``.
+    deadcode_roots: list[str] = field(default_factory=lambda: ["src", "tests", "benchmarks", "examples"])
+    #: Directory :attr:`deadcode_roots` resolve against — the directory of
+    #: the ``pyproject.toml`` the config came from (``None`` = no extras).
+    base_dir: Path | None = None
 
     def rule_enabled(self, rule_id: str) -> bool:
         return rule_id not in self.disable
@@ -95,6 +111,11 @@ class LintConfig:
     def allowed_layers(self, layer: str) -> list[str] | str:
         """Importable sibling layers for ``layer`` (``"*"`` = unrestricted)."""
         return self.layers.get(layer, "*")
+
+    def export_allowed(self, module: str, name: str) -> bool:
+        """True when RL007 must not flag ``name`` exported from ``module``."""
+        qualified = f"{module}.{name}"
+        return any(fnmatch(name, pattern) or fnmatch(qualified, pattern) for pattern in self.deadcode_allow)
 
 
 def _require(value, kind, what: str):
@@ -120,6 +141,14 @@ def config_from_table(table: dict) -> LintConfig:
                 _require(entry, str, f"'layers.{layer}' entries")
                 for entry in _require(allowed, list, f"'layers.{layer}'")
             ]
+    deadcode = _require(table.get("deadcode", {}), dict, "'deadcode'")
+    for pattern in _require(deadcode.get("allow", []), list, "'deadcode.allow'"):
+        config.deadcode_allow.append(_require(pattern, str, "'deadcode.allow' entries"))
+    if "roots" in deadcode:
+        config.deadcode_roots = [
+            _require(entry, str, "'deadcode.roots' entries")
+            for entry in _require(deadcode["roots"], list, "'deadcode.roots'")
+        ]
     if "root_package" in table:
         config.root_package = _require(table["root_package"], str, "'root_package'")
     return config
@@ -145,8 +174,11 @@ def load_config(pyproject: Path | str | None = None) -> LintConfig:
             raise LintConfigError(f"cannot parse {path}: {exc}") from exc
     table = data.get("tool", {}).get("reprolint", None)
     if table is None:
-        return LintConfig()
-    return config_from_table(table)
+        config = LintConfig()
+    else:
+        config = config_from_table(table)
+    config.base_dir = path.parent
+    return config
 
 
 def _discover_pyproject(start: Path | None = None) -> Path | None:

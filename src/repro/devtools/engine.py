@@ -23,7 +23,16 @@ from typing import Iterable, Iterator
 from .config import LintConfig
 from .findings import Finding, Severity
 
-__all__ = ["Rule", "register", "registered_rules", "FileContext", "LintEngine"]
+__all__ = [
+    "Rule",
+    "ProjectRule",
+    "register",
+    "register_project",
+    "registered_rules",
+    "registered_project_rules",
+    "FileContext",
+    "LintEngine",
+]
 
 _SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_*,\s]+)")
 
@@ -66,7 +75,39 @@ class Rule:
         )
 
 
+class ProjectRule:
+    """Base class for whole-project rules (cross-file analyses).
+
+    Unlike :class:`Rule`, which sees one file at a time, a project rule's
+    single :meth:`scan` hook receives every successfully parsed
+    :class:`FileContext` of the run at once — the shape needed for
+    properties no single file can witness, like "this exported name is
+    never imported anywhere".  A fresh instance is created per
+    ``lint_project`` call.
+    """
+
+    id: str = "RL000"
+    name: str = "abstract-project-rule"
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def scan(self, contexts: list["FileContext"]) -> Iterable[Finding]:
+        """Analyze the whole file set; yield findings anchored to files."""
+        return ()
+
+    def finding(self, ctx: "FileContext", node: ast.AST | None, message: str) -> Finding:
+        return Finding(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1) if node is not None else 1,
+            col=getattr(node, "col_offset", 0) if node is not None else 0,
+            rule_id=self.id,
+            message=message,
+            severity=self.severity,
+        )
+
+
 _REGISTRY: dict[str, type[Rule]] = {}
+_PROJECT_REGISTRY: dict[str, type[ProjectRule]] = {}
 
 
 def register(rule_cls: type[Rule]) -> type[Rule]:
@@ -79,9 +120,26 @@ def register(rule_cls: type[Rule]) -> type[Rule]:
     return rule_cls
 
 
+def register_project(rule_cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator adding a project rule to the registry (keyed by id)."""
+    if not rule_cls.id or rule_cls.id == ProjectRule.id:
+        raise ValueError(f"project rule {rule_cls.__name__} must define a unique non-default id")
+    if rule_cls.id in _PROJECT_REGISTRY and _PROJECT_REGISTRY[rule_cls.id] is not rule_cls:
+        raise ValueError(f"duplicate project rule id {rule_cls.id!r}")
+    if rule_cls.id in _REGISTRY:
+        raise ValueError(f"rule id {rule_cls.id!r} is already a per-file rule")
+    _PROJECT_REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
 def registered_rules() -> list[type[Rule]]:
     """All registered rule classes, ordered by rule id."""
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def registered_project_rules() -> list[type[ProjectRule]]:
+    """All registered project-rule classes, ordered by rule id."""
+    return [_PROJECT_REGISTRY[rule_id] for rule_id in sorted(_PROJECT_REGISTRY)]
 
 
 class FileContext:
@@ -97,6 +155,9 @@ class FileContext:
         #: local name -> fully qualified target, e.g. ``np -> numpy`` or
         #: ``default_rng -> numpy.random.default_rng`` (absolute imports only).
         self.aliases = _collect_aliases(tree)
+        #: Project-scan marker: this file joined the run only as a potential
+        #: consumer of exports; project rules must not report findings in it.
+        self.usage_only = False
 
     # -- helpers rules share -------------------------------------------------
 
@@ -139,10 +200,17 @@ class FileContext:
 class LintEngine:
     """Parses files and feeds every enabled rule in a single AST walk."""
 
-    def __init__(self, config: LintConfig | None = None, rules: Iterable[type[Rule]] | None = None):
+    def __init__(
+        self,
+        config: LintConfig | None = None,
+        rules: Iterable[type[Rule]] | None = None,
+        project_rules: Iterable[type[ProjectRule]] | None = None,
+    ):
         self.config = config or LintConfig()
         rule_classes = list(rules) if rules is not None else registered_rules()
         self.rule_classes = [cls for cls in rule_classes if self.config.rule_enabled(cls.id)]
+        project_classes = list(project_rules) if project_rules is not None else registered_project_rules()
+        self.project_rule_classes = [cls for cls in project_classes if self.config.rule_enabled(cls.id)]
 
     def lint_paths(self, paths: Iterable[Path | str], root: Path | str | None = None) -> list[Finding]:
         """Lint files and directories (recursively); returns sorted findings."""
@@ -185,6 +253,50 @@ class LintEngine:
             raw.extend(rule.finish(ctx))
         suppressed = _suppressed_lines(source)
         return [finding for finding in raw if self._keep(finding, suppressed)]
+
+    def lint_project(self, paths: Iterable[Path | str], root: Path | str | None = None) -> list[Finding]:
+        """Run the *project* rules over the whole file set at once.
+
+        Parses every ``.py`` file under ``paths`` (unparseable files are
+        skipped here — :meth:`lint_paths` already reports their syntax
+        errors), hands the full context list to each enabled project rule,
+        and filters findings through the same inline-suppression and
+        path-allowlist machinery as per-file findings.  Complementary to
+        :meth:`lint_paths`; the CLI runs both and merges.
+
+        Files under the configured ``deadcode_roots`` (resolved against the
+        config's ``base_dir``) always join the set as *usage-only*
+        contexts (``ctx.usage_only = True``): they count as consumers but
+        are never themselves checked for dead exports, so a narrow run
+        like ``repro lint src`` still sees the consumers in ``tests/``.
+        """
+        root = Path(root) if root is not None else None
+        explicit = list(self._expand(paths))
+        seen = {path.resolve() for path in explicit}
+        usage_only: list[Path] = []
+        if self.config.base_dir is not None:
+            for root_name in self.config.deadcode_roots:
+                root_dir = Path(self.config.base_dir) / root_name
+                if root_dir.is_dir():
+                    usage_only.extend(
+                        path for path in self._expand([root_dir]) if path.resolve() not in seen
+                    )
+        contexts: list[FileContext] = []
+        suppressions: dict[str, dict[int, set[str]]] = {}
+        for path, is_usage_only in [(p, False) for p in explicit] + [(p, True) for p in usage_only]:
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source)
+            except (OSError, SyntaxError):
+                continue
+            ctx = FileContext(path, source, tree, self.config, root)
+            ctx.usage_only = is_usage_only
+            contexts.append(ctx)
+            suppressions[ctx.display_path] = _suppressed_lines(source)
+        findings: list[Finding] = []
+        for cls in self.project_rule_classes:
+            findings.extend(cls().scan(contexts))
+        return sorted(f for f in findings if self._keep(f, suppressions.get(f.path, {})))
 
     def _keep(self, finding: Finding, suppressed: dict[int, set[str]]) -> bool:
         if self.config.path_allowed(finding.rule_id, finding.path):

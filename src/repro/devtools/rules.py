@@ -1,4 +1,4 @@
-"""The concrete reprolint rules, RL001–RL006.
+"""The concrete reprolint rules, RL001–RL007.
 
 Each rule enforces one invariant the reproduction's correctness argument
 rests on (see DESIGN.md §3 and README "Code invariants & reprolint"):
@@ -17,6 +17,9 @@ rests on (see DESIGN.md §3 and README "Code invariants & reprolint"):
 - RL006 — numpydoc ``Parameters`` sections must not name arguments the
   signature no longer has; stale parameter docs teach callers an API
   that does not exist.
+- RL007 — every name a module exports via ``__all__`` must be consumed
+  somewhere else in the tree (or allowlisted as intentional public API);
+  dead exports are the residue refactors leave behind.
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
-from .engine import FileContext, Rule, register
+from .engine import FileContext, ProjectRule, Rule, register, register_project
 from .findings import Finding, Severity
 
 __all__ = [
@@ -34,6 +37,7 @@ __all__ = [
     "WallClockRule",
     "FootgunRule",
     "DocstringDriftRule",
+    "DeadExportRule",
 ]
 
 # -- RL001 -------------------------------------------------------------------
@@ -461,3 +465,101 @@ def _is_underline(line: str) -> bool:
 
 def _indent_of(line: str) -> int:
     return len(line) - len(line.lstrip())
+
+
+# -- RL007 -------------------------------------------------------------------
+
+
+@register_project
+class DeadExportRule(ProjectRule):
+    """RL007: every ``__all__`` export must be consumed somewhere else.
+
+    A cross-file analysis in two passes over the whole linted file set:
+
+    1. **exports** — for every module under the root package, collect the
+       string entries of its top-level ``__all__`` (each pinned to its own
+       source line for precise findings);
+    2. **uses** — for every file in the set (source *and* tests *and*
+       benchmarks *and* examples, whatever the caller passed), collect all
+       names that could consume an export: ``from X import name`` targets,
+       attribute accesses (``module.name``), and plain name loads.
+
+    An export is dead when its name appears in no file other than the one
+    that exports it.  Matching is by name, not by resolved module — which
+    cannot produce false positives (any genuine consumer *must* utter the
+    name somewhere) at the cost of missing same-named dead code, an
+    acceptable trade for a lint gate.  ``from X import *`` defeats
+    name-level tracking, so a star-import of a root-package module exempts
+    that module's exports.  ``[tool.reprolint.deadcode] allow`` patterns
+    mark intentional public API.
+    """
+
+    id = "RL007"
+    name = "dead-export"
+    description = "names exported via __all__ must be imported/used somewhere outside their module"
+
+    def scan(self, contexts: list[FileContext]) -> Iterable[Finding]:
+        used_by_file: dict[str, set[str]] = {}
+        star_imported: set[str] = set()
+        for ctx in contexts:
+            used_by_file[ctx.display_path] = self._used_names(ctx, star_imported)
+        for ctx in contexts:
+            module = ctx.module
+            if module is None or ctx.usage_only:
+                continue
+            root = ctx.config.root_package
+            if module != root and not module.startswith(root + "."):
+                continue
+            if module in star_imported:
+                continue
+            for name, node in self._exports(ctx):
+                if ctx.config.export_allowed(module, name):
+                    continue
+                if any(name in used for path, used in used_by_file.items() if path != ctx.display_path):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'{module}.{name}' is exported via __all__ but never imported or used "
+                    "outside its module — delete it or allowlist it under "
+                    "[tool.reprolint.deadcode]",
+                )
+
+    @staticmethod
+    def _exports(ctx: FileContext) -> list[tuple[str, ast.AST]]:
+        """``(name, node)`` pairs from the module's top-level ``__all__``."""
+        exports: list[tuple[str, ast.AST]] = []
+        for node in ctx.tree.body:
+            targets = ()
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = (node.target,)
+            if not any(isinstance(t, ast.Name) and t.id == "__all__" for t in targets):
+                continue
+            value = node.value
+            if isinstance(value, (ast.List, ast.Tuple)):
+                for element in value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                        exports.append((element.value, element))
+        return exports
+
+    @staticmethod
+    def _used_names(ctx: FileContext, star_imported: set[str]) -> set[str]:
+        """Every name this file could be consuming from another module."""
+        used: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        if node.level == 0 and node.module:
+                            star_imported.add(node.module)
+                        elif ctx.module is not None:
+                            star_imported.add(ctx.module.rsplit(".", 1)[0])
+                    else:
+                        used.add(alias.name)
+            elif isinstance(node, ast.Attribute):
+                used.add(node.attr)
+            elif isinstance(node, ast.Name):
+                used.add(node.id)
+        return used

@@ -34,3 +34,24 @@ class EmulationError(ReproError):
 
 class SubspaceError(ReproError, ValueError):
     """Raised for invalid subspace algebra operations (e.g. empty domains)."""
+
+
+class ServeError(ReproError):
+    """Base class for online-serving failures (:mod:`repro.serve`)."""
+
+
+class RegistryError(ServeError):
+    """Raised when a model-registry operation cannot be honored."""
+
+
+class BackpressureError(ServeError):
+    """Raised when the inference queue is full and a request is shed.
+
+    The typed alternative to blocking: a caller seeing this error knows the
+    service is overloaded *now* and can retry, down-sample, or fail over —
+    the request was never enqueued.
+    """
+
+
+class RequestTimeoutError(ServeError):
+    """Raised when a request's reply did not arrive within its timeout."""

@@ -24,6 +24,14 @@ loses that repeat's scores, keeping the paired score arrays aligned); a
 failed cell drops its algorithm from the significance table; both are
 recorded in the result's metadata instead of crashing the run.  Only when
 *nothing* survives does the original :class:`TaskError` propagate.
+
+Because a failed task is never cached, a degraded run leaves a *partial*
+cache behind: every healthy cell's artifact is on disk, the failed cells'
+are not.  Re-running the same grid against that cache (the CLI's
+``--resume`` flag) therefore re-submits only the failed/missing cells and
+answers everything else from the cache; ``GridResult`` counts the
+cache-resumed units (``resumed_initial_fits`` / ``resumed_cells``) so the
+record shows how much of the run was replayed versus recomputed.
 """
 
 from __future__ import annotations
@@ -99,6 +107,11 @@ class GridResult:
     failures: list[CellFailure] = field(default_factory=list)
     dropped_algorithms: list[str] = field(default_factory=list)
     failed_repeats: list[int] = field(default_factory=list)
+    #: Units answered from the artifact cache instead of executing — the
+    #: resume accounting: after a degraded-then-fixed rerun these say how
+    #: much of the grid was replayed from disk.
+    resumed_initial_fits: int = 0
+    resumed_cells: int = 0
 
     def metadata(self) -> dict[str, Any]:
         """The ``record.metadata["grid"]`` entry."""
@@ -109,6 +122,8 @@ class GridResult:
             "failed_repeats": list(self.failed_repeats),
             "failed_cells": [f.as_dict() for f in self.failures],
             "dropped_algorithms": list(self.dropped_algorithms),
+            "resumed_initial_fits": self.resumed_initial_fits,
+            "resumed_cells": self.resumed_cells,
         }
 
 
@@ -182,7 +197,11 @@ def run_experiment_grid(
     plans = list(plans)
     algorithms = list(algorithms)
 
+    def cache_hits() -> int:
+        return int(runtime.stats["cache_hits"])
+
     say(f"fitting {len(plans)} initial AutoML model(s)")
+    hits_before_fits = cache_hits()
     initial_tasks = [
         Task(
             fn_name="automl.fit",
@@ -193,6 +212,7 @@ def run_experiment_grid(
         for plan in plans
     ]
     initials = runtime.run(initial_tasks, return_failures=True)
+    resumed_initial_fits = cache_hits() - hits_before_fits
 
     failures: list[CellFailure] = []
     failed_repeats: list[int] = []
@@ -240,7 +260,11 @@ def run_experiment_grid(
                 )
             )
     say(f"running {len(cell_tasks)} grid cell(s): {len(live)} repeat(s) × {len(algorithms)} strategies")
+    hits_before_cells = cache_hits()
     values = runtime.run(cell_tasks, return_failures=True)
+    resumed_cells = cache_hits() - hits_before_cells
+    if resumed_cells or resumed_initial_fits:
+        say(f"  resumed from cache: {resumed_initial_fits} initial fit(s), {resumed_cells} cell(s)")
 
     collected: dict[str, list[float]] = {name: [] for name in algorithms}
     failed_algorithms: set[str] = set()
@@ -268,4 +292,6 @@ def run_experiment_grid(
         failures=failures,
         dropped_algorithms=[name for name in algorithms if name in failed_algorithms],
         failed_repeats=failed_repeats,
+        resumed_initial_fits=resumed_initial_fits,
+        resumed_cells=resumed_cells,
     )

@@ -23,6 +23,7 @@ The substrate the experiment harness schedules on (DESIGN.md §3,
 from .cache import (
     ArtifactCache,
     CACHE_SALT,
+    PUBLISH_SALT,
     Provenance,
     default_cache_dir,
     digest_payload,
@@ -51,4 +52,5 @@ __all__ = [
     "task_key",
     "Provenance",
     "CACHE_SALT",
+    "PUBLISH_SALT",
 ]

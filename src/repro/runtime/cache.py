@@ -44,12 +44,18 @@ __all__ = [
     "task_key",
     "default_cache_dir",
     "CACHE_SALT",
+    "PUBLISH_SALT",
 ]
 
 #: Format/version salt mixed into every key.  Bump when task semantics or
 #: the artifact encoding change: old entries become unreachable (and
 #: prunable) instead of silently wrong.
 CACHE_SALT = "repro-runtime-cache-v1"
+
+#: Salt for *published* artifacts (model-registry bundles): published keys
+#: address pickled bytes directly, not a task identity, so they version
+#: independently of task semantics.
+PUBLISH_SALT = "repro-publish-v1"
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -199,11 +205,16 @@ class ArtifactCache:
     def store(self, key: str, value: Any) -> Path:
         """Atomically persist ``value`` under ``key``; returns the path."""
         path = self.path_for(key)
+        self._write_atomic(path, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        self.stores += 1
+        return path
+
+    def _write_atomic(self, path: Path, blob: bytes) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
             with open(tmp, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(blob)
             os.replace(tmp, path)
         finally:
             if tmp.exists():
@@ -211,8 +222,40 @@ class ArtifactCache:
                     tmp.unlink()
                 except OSError:
                     pass
-        self.stores += 1
-        return path
+
+    # -- publish/fetch (registry entry points) ----------------------------
+
+    def publish(self, value: Any, *, salt: str = PUBLISH_SALT) -> str:
+        """Persist ``value`` under the content address of its pickled bytes.
+
+        The entry point the model registry builds on: unlike :meth:`store`
+        (keyed by a task's identity), a published artifact is addressed by
+        *what it is* — ``sha256(salt, pickle(value))`` — so re-publishing
+        identical bytes is a no-op and a manifest holding the key can
+        verify integrity on load.  Returns the key.
+        """
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        h = hashlib.sha256()
+        _hash_update(h, b"publish", salt.encode(), blob)
+        key = h.hexdigest()
+        path = self.path_for(key)
+        if not path.exists():
+            self._write_atomic(path, blob)
+            self.stores += 1
+        return key
+
+    def fetch(self, key: str) -> Any:
+        """Load a published artifact, raising ``KeyError`` when absent.
+
+        The strict counterpart of :meth:`load`: a registry manifest that
+        names a key *promises* the artifact exists, so a miss (including a
+        corrupt entry, which :meth:`load` evicts) is an error, not a
+        recomputable cache miss.
+        """
+        hit, value = self.load(key)
+        if not hit:
+            raise KeyError(key)
+        return value
 
     # -- maintenance -------------------------------------------------------
 

@@ -1,0 +1,251 @@
+"""The inference engine: micro-batched, bounded, deterministic.
+
+Requests enter a bounded queue and a single batcher thread drains them
+into micro-batches: a batch flushes when it reaches ``max_batch`` rows
+or when the oldest queued request has waited ``max_delay`` seconds.
+Each batch makes *one* vectorized pass through the registered ensemble
+(:meth:`AutoMLClassifier.predict_batch`) and one pass through the
+uncertainty monitor, then fans results back out per request.  Batching
+is how a 1-vCPU service gets throughput: the ensemble's per-call fixed
+cost (estimator dispatch, validation, alignment) is paid once per batch
+instead of once per row.
+
+Overload policy is *shed, don't block*: ``submit`` uses ``put_nowait``
+and raises :class:`BackpressureError` when the queue is full, so a
+caller learns about overload in microseconds instead of holding a
+connection open.  Each request also carries a timeout; a reply that
+misses it raises :class:`RequestTimeoutError` in the caller (the result
+is discarded when it eventually arrives).
+
+Determinism: predictions are computed by the same fitted ensemble code
+path as offline ``AutoML.predict`` — batching changes *when* rows are
+evaluated, never *what* is computed for them.  The engine reads the
+clock only through :mod:`repro.runtime.clock` (deadlines and latency
+metrics — budget logic, per RL004), and draws no randomness at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import BackpressureError, RequestTimeoutError, ServeError, ValidationError
+from ..runtime.clock import Deadline, Stopwatch
+from .metrics import MetricsRegistry
+from .monitor import UncertaintyMonitor
+from .registry import ModelBundle
+
+__all__ = ["ServeConfig", "InferenceEngine", "Prediction"]
+
+#: Queue sentinel that tells the batcher thread to exit.
+_SHUTDOWN = object()
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig:
+    """Tunables for one :class:`InferenceEngine`.
+
+    ``max_batch`` and ``max_delay`` trade latency for throughput:
+    a flush happens at whichever comes first.  ``queue_bound`` is the
+    backpressure line — requests beyond it are shed, not buffered.
+    """
+
+    max_batch: int = 32
+    max_delay: float = 0.01
+    queue_bound: int = 256
+    request_timeout: float = 10.0
+    disagreement_threshold: float | None = None
+    labeling_queue_capacity: int = 1024
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValidationError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay < 0:
+            raise ValidationError(f"max_delay must be >= 0, got {self.max_delay}")
+        if self.queue_bound < 1:
+            raise ValidationError(f"queue_bound must be >= 1, got {self.queue_bound}")
+        if self.request_timeout <= 0:
+            raise ValidationError(f"request_timeout must be positive, got {self.request_timeout}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Prediction:
+    """One request's result: labels plus the uncertainty verdicts."""
+
+    labels: list
+    proba: np.ndarray  # (n_points, n_classes)
+    in_uncertain_region: list[bool]
+    in_feedback_region: list[bool]
+    disagreement: list[float]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "labels": self.labels,
+            "proba": self.proba.tolist(),
+            "in_uncertain_region": self.in_uncertain_region,
+            "in_feedback_region": self.in_feedback_region,
+            "disagreement": self.disagreement,
+        }
+
+
+class _PendingRequest:
+    """A submitted batch of rows waiting for its reply."""
+
+    __slots__ = ("X", "event", "result", "error", "stopwatch")
+
+    def __init__(self, X: np.ndarray, stopwatch: Stopwatch):
+        self.X = X
+        self.event = threading.Event()
+        self.result: Prediction | None = None
+        self.error: BaseException | None = None
+        self.stopwatch = stopwatch
+
+
+class InferenceEngine:
+    """Micro-batching prediction service over one registered model bundle."""
+
+    def __init__(
+        self,
+        bundle: ModelBundle,
+        config: ServeConfig | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.bundle = bundle
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.monitor = UncertaintyMonitor(
+            bundle.report,
+            disagreement_threshold=self.config.disagreement_threshold,
+            queue_capacity=self.config.labeling_queue_capacity,
+        )
+        self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_bound)
+        self._closed = threading.Event()
+        self._drain_shutdown = False  # batcher-thread-only: sentinel seen mid-batch
+        # Pre-create every instrument so /metrics shows zeros, not holes.
+        for name in ("requests", "points", "shed", "timeouts", "errors", "uncertain_points", "batches"):
+            self.metrics.counter(name)
+        for name in ("batch_size", "queue_depth", "latency_seconds"):
+            self.metrics.histogram(name)
+        self._batcher = threading.Thread(target=self._batch_loop, name="repro-serve-batcher", daemon=True)
+        self._batcher.start()
+
+    # -- client side -------------------------------------------------------
+
+    def submit(self, X) -> _PendingRequest:
+        """Enqueue one request (one or more rows); sheds instead of blocking."""
+        if self._closed.is_set():
+            raise ServeError("inference engine is closed")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.ndim != 2 or X.shape[0] < 1:
+            raise ValidationError(f"requests must be (n_points, n_features) with n_points >= 1, got {X.shape}")
+        if X.shape[1] != self.bundle.n_features:
+            raise ValidationError(
+                f"model {self.bundle.name!r} expects {self.bundle.n_features} features, got {X.shape[1]}"
+            )
+        if not np.isfinite(X).all():
+            raise ValidationError("request contains NaN or infinite values")
+        pending = _PendingRequest(X, Stopwatch())
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            self.metrics.counter("shed").inc()
+            raise BackpressureError(
+                f"inference queue is full ({self.config.queue_bound} pending requests); retry later"
+            ) from None
+        self.metrics.counter("requests").inc()
+        self.metrics.counter("points").inc(X.shape[0])
+        self.metrics.histogram("queue_depth").observe(self._queue.qsize())
+        return pending
+
+    def predict(self, X, *, timeout: float | None = None) -> Prediction:
+        """Submit and wait: the blocking convenience the clients use."""
+        pending = self.submit(X)
+        timeout = self.config.request_timeout if timeout is None else timeout
+        if not pending.event.wait(timeout):
+            self.metrics.counter("timeouts").inc()
+            raise RequestTimeoutError(f"no reply within {timeout:.3f}s (service overloaded or wedged)")
+        if pending.error is not None:
+            raise pending.error
+        assert pending.result is not None
+        return pending.result
+
+    # -- batcher side ------------------------------------------------------
+
+    def _collect_batch(self, first: Any) -> list[_PendingRequest]:
+        """Grow a batch from ``first`` until max_batch rows or max_delay."""
+        batch = [first]
+        rows = first.X.shape[0]
+        deadline = Deadline(self.config.max_delay)
+        while rows < self.config.max_batch:
+            remaining = deadline.remaining()
+            if remaining is not None and remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                # Never re-post: a racing submit could have taken the freed
+                # slot, and a blocking put here would wedge the batcher.
+                self._drain_shutdown = True
+                break
+            batch.append(item)
+            rows += item.X.shape[0]
+        return batch
+
+    def _batch_loop(self) -> None:
+        while not self._drain_shutdown:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch = self._collect_batch(item)
+            self._process(batch)
+
+    def _process(self, batch: list[_PendingRequest]) -> None:
+        X = np.concatenate([pending.X for pending in batch], axis=0)
+        self.metrics.counter("batches").inc()
+        self.metrics.histogram("batch_size").observe(X.shape[0])
+        try:
+            labels, proba, stack = self.bundle.automl.predict_batch(X)
+            verdicts = self.monitor.evaluate(X, stack)
+        except BaseException as error:  # delivered to every waiter, not swallowed
+            self.metrics.counter("errors").inc(len(batch))
+            for pending in batch:
+                pending.error = error
+                pending.event.set()
+            return
+        self.metrics.counter("uncertain_points").inc(int(verdicts["uncertain"].sum()))
+        offset = 0
+        for pending in batch:
+            rows = slice(offset, offset + pending.X.shape[0])
+            offset += pending.X.shape[0]
+            pending.result = Prediction(
+                labels=[label.item() if isinstance(label, np.generic) else label for label in labels[rows]],
+                proba=proba[rows],
+                in_uncertain_region=[bool(flag) for flag in verdicts["uncertain"][rows]],
+                in_feedback_region=[bool(flag) for flag in verdicts["in_region"][rows]],
+                disagreement=[float(d) for d in verdicts["disagreement"][rows]],
+            )
+            self.metrics.histogram("latency_seconds").observe(pending.stopwatch.elapsed())
+            pending.event.set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, *, timeout: float = 5.0) -> None:
+        """Stop the batcher; queued requests are still processed first."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._queue.put(_SHUTDOWN)
+        self._batcher.join(timeout)
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

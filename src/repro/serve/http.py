@@ -1,0 +1,141 @@
+"""Threaded stdlib HTTP transport for :class:`ServeService`.
+
+A deliberately small JSON-over-HTTP surface on
+:class:`http.server.ThreadingHTTPServer` (one thread per connection;
+they all funnel into the engine's bounded queue, so concurrency is
+governed by backpressure, not by thread count):
+
+- ``GET  /healthz``  → service identity and liveness;
+- ``GET  /metrics``  → counters + latency histograms (JSON);
+- ``POST /predict``  → ``{"rows": [[...], ...]}`` → labels/uncertainty;
+- ``POST /feedback`` → ``{"limit": N}`` (optional) → labeling queue drain.
+
+Error mapping is part of the contract: validation failures are ``400``,
+a shed request is ``503`` (the HTTP spelling of
+:class:`BackpressureError` — retryable), a timed-out request is ``504``,
+and unknown routes are ``404``.  Every response body is JSON, including
+errors (``{"error": ..., "type": ...}``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..exceptions import BackpressureError, RequestTimeoutError, ServeError, ValidationError
+from .service import ServeService
+
+__all__ = ["ServeHTTPServer", "serve_http"]
+
+#: Largest request body accepted, to bound memory per connection.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the four endpoints onto the shared :class:`ServeService`."""
+
+    server: "ServeHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # silence per-request stderr lines; metrics cover observability
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, error: BaseException) -> None:
+        self._send_json(status, {"error": str(error), "type": type(error).__name__})
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_BODY_BYTES:
+            raise ValidationError(f"request body too large ({length} bytes > {MAX_BODY_BYTES})")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValidationError(f"request body is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ValidationError("request body must be a JSON object")
+        return payload
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send_json(200, service.healthz())
+        elif self.path == "/metrics":
+            self._send_json(200, service.metrics())
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}", "type": "NotFound"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
+        service = self.server.service
+        try:
+            payload = self._read_body()
+            if self.path == "/predict":
+                rows = payload.get("rows")
+                if rows is None:
+                    raise ValidationError('predict requests need a "rows" field: {"rows": [[...], ...]}')
+                self._send_json(200, service.predict(rows))
+            elif self.path == "/feedback":
+                limit = payload.get("limit")
+                if limit is not None and (not isinstance(limit, int) or limit < 0):
+                    raise ValidationError(f'"limit" must be a non-negative integer, got {limit!r}')
+                self._send_json(200, service.feedback(limit))
+            else:
+                self._send_json(404, {"error": f"no route {self.path!r}", "type": "NotFound"})
+        except ValidationError as error:
+            self._send_error_json(400, error)
+        except BackpressureError as error:
+            self._send_error_json(503, error)
+        except RequestTimeoutError as error:
+            self._send_error_json(504, error)
+        except ServeError as error:
+            self._send_error_json(500, error)
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`ServeService`."""
+
+    daemon_threads = True
+
+    def __init__(self, service: ServeService, host: str = "127.0.0.1", port: int = 0):
+        super().__init__((host, port), _Handler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_background(self) -> threading.Thread:
+        """Serve on a daemon thread; returns it (caller keeps the server)."""
+        thread = threading.Thread(target=self.serve_forever, name="repro-serve-http", daemon=True)
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        self.shutdown()
+        self.server_close()
+        self.service.close()
+
+
+def serve_http(service: ServeService, host: str = "127.0.0.1", port: int = 0) -> ServeHTTPServer:
+    """Bind and background-start an HTTP server for ``service``.
+
+    ``port=0`` lets the OS pick a free port (read it from ``server.url``),
+    which is what tests and single-machine demos want.
+    """
+    server = ServeHTTPServer(service, host, port)
+    server.serve_background()
+    return server

@@ -1,0 +1,151 @@
+"""Serving observability: counters, histograms, and one snapshot call.
+
+Every number the service exposes on ``/metrics`` flows through this
+module: monotonically increasing :class:`Counter` values (requests,
+points, sheds, uncertain hits) and :class:`Histogram` samples (batch
+sizes, queue depth at enqueue, per-request latency) summarized as
+count/sum/quantiles.  The design constraints are the serving layer's:
+
+- **thread-safe** — the HTTP handler threads, the batcher thread, and
+  test harnesses all record concurrently, so every mutation holds the
+  owning :class:`MetricsRegistry` lock;
+- **bounded memory** — a histogram keeps a fixed-capacity ring of recent
+  samples for quantile estimates while ``count``/``sum`` stay exact, so a
+  long-lived service cannot grow without bound;
+- **deterministic** — no clocks, no sampling randomness; time only enters
+  as values *observed into* histograms by callers that own a stopwatch.
+
+Quantiles are reported as ``p50``/``p95``/``p99`` over the retained
+window using the linear-interpolation definition of
+:func:`numpy.quantile`, which is what the serving benchmark records.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+#: Samples a histogram retains for quantile estimation.  Counters stay
+#: exact forever; only the quantile window is bounded.
+DEFAULT_WINDOW = 4096
+
+#: The quantiles ``snapshot()`` reports, as (label, q) pairs.
+QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+class Counter:
+    """A monotonically increasing count.  Mutate via ``inc`` only."""
+
+    def __init__(self, name: str, lock):
+        self.name = name
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValidationError(f"counters only increase; got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Exact count/sum plus a bounded sample window for quantiles.
+
+    The window is a ring buffer: once ``window`` samples have been
+    observed, each new sample overwrites the oldest, so quantiles track
+    recent behaviour while memory stays fixed.
+    """
+
+    def __init__(self, name: str, lock, window: int = DEFAULT_WINDOW):
+        if window < 1:
+            raise ValidationError(f"histogram window must be >= 1, got {window}")
+        self.name = name
+        self._lock = lock
+        self._samples = np.zeros(window, dtype=np.float64)
+        self._next = 0
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._samples[self._next] = value
+            self._next = (self._next + 1) % self._samples.shape[0]
+            self._count += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def summary(self) -> dict[str, float | int]:
+        """Count, sum, mean, max and the configured quantiles."""
+        with self._lock:
+            count = self._count
+            total = self._sum
+            window = self._samples[: min(count, self._samples.shape[0])].copy()
+        if count == 0:
+            return {"count": 0, "sum": 0.0}
+        stats: dict[str, float | int] = {
+            "count": count,
+            "sum": float(total),
+            "mean": float(total / count),
+            "max": float(window.max()),
+        }
+        for label, q in QUANTILES:
+            stats[label] = float(np.quantile(window, q))
+        return stats
+
+
+class MetricsRegistry:
+    """Named counters and histograms behind one lock and one snapshot.
+
+    ``counter(name)``/``histogram(name)`` create on first use and return
+    the same instrument afterwards, so instrument identity is a name, not
+    an object handed around.  ``snapshot()`` is the ``/metrics`` payload:
+    plain JSON-serializable scalars, taken under the registry lock so the
+    counters in one snapshot are mutually consistent.
+    """
+
+    def __init__(self):
+        # Reentrant: snapshot() reads every instrument under the registry
+        # lock, and each instrument accessor re-acquires the same lock.
+        self._lock = threading.RLock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name in self._histograms:
+                raise ValidationError(f"metric {name!r} is already a histogram")
+            if name not in self._counters:
+                self._counters[name] = Counter(name, self._lock)
+            return self._counters[name]
+
+    def histogram(self, name: str, window: int = DEFAULT_WINDOW) -> Histogram:
+        with self._lock:
+            if name in self._counters:
+                raise ValidationError(f"metric {name!r} is already a counter")
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, self._lock, window)
+            return self._histograms[name]
+
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments as one JSON-ready mapping, mutually consistent."""
+        with self._lock:
+            return {
+                "counters": {name: counter.value for name, counter in sorted(self._counters.items())},
+                "histograms": {name: hist.summary() for name, hist in sorted(self._histograms.items())},
+            }

@@ -1,0 +1,93 @@
+"""The serving façade: registry + engine + monitor behind four operations.
+
+:class:`ServeService` is the single object both transports (the HTTP
+server and the in-process client) talk to.  It owns exactly the four
+operations the JSON API exposes:
+
+- ``predict(rows)``   → labels, probabilities, uncertainty verdicts;
+- ``feedback(limit)`` → drain the labeling queue (the paper's "collect
+  more data here" output, served as candidates to label);
+- ``healthz()``       → liveness plus which model/version is serving;
+- ``metrics()``       → the engine's counters and latency histograms.
+
+Keeping the transports this thin means every concurrency/correctness
+test can run against the service in-process and still exercise the same
+code the HTTP path does.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from .engine import InferenceEngine, ServeConfig
+from .registry import ModelBundle, ModelRegistry
+
+__all__ = ["ServeService"]
+
+
+class ServeService:
+    """One deployed model bundle plus its inference engine."""
+
+    def __init__(self, bundle: ModelBundle, config: ServeConfig | None = None, *, version: int | None = None):
+        self.bundle = bundle
+        self.version = version
+        self.engine = InferenceEngine(bundle, config)
+
+    @classmethod
+    def from_registry(
+        cls,
+        name: str,
+        *,
+        directory: Path | str | None = None,
+        version: int | None = None,
+        config: ServeConfig | None = None,
+    ) -> "ServeService":
+        """Load ``name`` (promoted version by default) and start serving it."""
+        registry = ModelRegistry(directory)
+        bundle = registry.load(name, version)
+        resolved = version if version is not None else registry.promoted_version(name)
+        return cls(bundle, config, version=resolved)
+
+    # -- the four API operations ------------------------------------------
+
+    def predict(self, rows, *, timeout: float | None = None) -> dict[str, Any]:
+        """Predict one request's rows; returns the JSON-shaped response."""
+        prediction = self.engine.predict(rows, timeout=timeout)
+        return {"model": self.bundle.name, "version": self.version, **prediction.to_json()}
+
+    def feedback(self, limit: int | None = None) -> dict[str, Any]:
+        """Drain up to ``limit`` uncertain points awaiting labels."""
+        queue = self.engine.monitor.queue
+        return {
+            "model": self.bundle.name,
+            "version": self.version,
+            "candidates": queue.drain(limit),
+            "queue": queue.stats(),
+        }
+
+    def healthz(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "model": self.bundle.name,
+            "version": self.version,
+            "n_features": self.bundle.n_features,
+            "feature_names": [domain.name for domain in self.bundle.domains],
+            "classes": self.bundle.classes,
+        }
+
+    def metrics(self) -> dict[str, Any]:
+        snapshot = self.engine.metrics.snapshot()
+        snapshot["labeling_queue"] = self.engine.monitor.queue.stats()
+        return snapshot
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def __enter__(self) -> "ServeService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

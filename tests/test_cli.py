@@ -29,6 +29,26 @@ class TestParser:
         args = build_parser().parse_args(["table1", "--seed", "9", "--paper-scale"])
         assert args.seed == 9 and args.paper_scale
 
+    def test_resume_forces_cache_on(self, tmp_path):
+        from repro.cli import _runtime_from_args
+
+        args = build_parser().parse_args(
+            ["table1", "--resume", "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert args.resume and args.cache == "off"  # flag default untouched by argparse
+        runtime = _runtime_from_args(args)
+        assert runtime is not None
+        assert runtime.cache is not None and runtime.cache_mode == "on"
+
+    def test_resume_rejects_refresh(self, tmp_path):
+        from repro.cli import _runtime_from_args
+
+        args = build_parser().parse_args(
+            ["table1", "--resume", "--cache", "refresh", "--cache-dir", str(tmp_path / "cache")]
+        )
+        with pytest.raises(SystemExit, match="refresh"):
+            _runtime_from_args(args)
+
 
 class TestExecution:
     def test_emulate_runs(self, capsys):

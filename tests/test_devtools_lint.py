@@ -17,6 +17,7 @@ from repro.devtools import (
     LintConfigError,
     LintEngine,
     config_from_table,
+    registered_project_rules,
     registered_rules,
     render_json,
     render_text,
@@ -39,6 +40,10 @@ class TestRegistry:
     def test_all_six_rules_registered(self):
         ids = [cls.id for cls in registered_rules()]
         assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+
+    def test_project_rules_registered(self):
+        ids = [cls.id for cls in registered_project_rules()]
+        assert ids == ["RL007"]
 
     def test_syntax_error_reported_not_raised(self):
         findings = lint("def broken(:\n", "src/repro/core/x.py")
@@ -588,6 +593,182 @@ class TestReporters:
     def test_findings_sorted_deterministically(self):
         findings = self._findings()
         assert findings == sorted(findings)
+
+
+class TestRL007DeadExport:
+    """Cross-file dead-export detection via ``LintEngine.lint_project``."""
+
+    @staticmethod
+    def write_tree(tmp_path, files):
+        """Write a src-layout package tree and return the file paths."""
+        paths = []
+        for relative, source in files.items():
+            path = tmp_path / relative
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+            paths.append(path)
+        # Make every directory between src/ and each module a package, so
+        # engine module resolution sees the full dotted path (repro.core.x).
+        for path in paths:
+            if "src" not in path.parts:
+                continue
+            current = path.parent
+            while current.name != "src" and current != tmp_path:
+                init = current / "__init__.py"
+                if not init.exists():
+                    init.write_text("", encoding="utf-8")
+                current = current.parent
+        return paths
+
+    def scan(self, tmp_path, files, config=None):
+        self.write_tree(tmp_path, files)
+        engine = LintEngine(config or LintConfig())
+        return engine.lint_project([tmp_path], root=tmp_path)
+
+    def test_unused_export_flagged(self, tmp_path):
+        findings = self.scan(
+            tmp_path,
+            {
+                "src/repro/core/util.py": """
+                __all__ = ["used_helper", "dead_helper"]
+
+                def used_helper():
+                    return 1
+
+                def dead_helper():
+                    return 2
+                """,
+                "tests/test_util.py": """
+                from repro.core.util import used_helper
+
+                assert used_helper() == 1
+                """,
+            },
+        )
+        assert [f.rule_id for f in findings] == ["RL007"]
+        assert "dead_helper" in findings[0].message
+        assert findings[0].path.endswith("util.py")
+
+    def test_export_used_only_in_own_module_is_dead(self, tmp_path):
+        findings = self.scan(
+            tmp_path,
+            {
+                "src/repro/core/util.py": """
+                __all__ = ["internal_only"]
+
+                def internal_only():
+                    return 1
+
+                VALUE = internal_only()
+                """,
+            },
+        )
+        assert [f.rule_id for f in findings] == ["RL007"]
+
+    def test_attribute_access_counts_as_use(self, tmp_path):
+        findings = self.scan(
+            tmp_path,
+            {
+                "src/repro/core/util.py": """
+                __all__ = ["helper"]
+
+                def helper():
+                    return 1
+                """,
+                "benchmarks/bench.py": """
+                import repro.core.util as util
+
+                util.helper()
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_star_import_exempts_module(self, tmp_path):
+        findings = self.scan(
+            tmp_path,
+            {
+                "src/repro/core/util.py": """
+                __all__ = ["maybe_used"]
+
+                def maybe_used():
+                    return 1
+                """,
+                "tests/test_star.py": """
+                from repro.core.util import *
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_allowlist_by_name_and_qualified_glob(self, tmp_path):
+        files = {
+            "src/repro/core/util.py": """
+            __all__ = ["public_api", "other_dead"]
+
+            def public_api():
+                return 1
+
+            def other_dead():
+                return 2
+            """,
+        }
+        config = config_from_table({"deadcode": {"allow": ["repro.core.util.public_api"]}})
+        findings = self.scan(tmp_path, files, config=config)
+        assert len(findings) == 1 and "other_dead" in findings[0].message
+        config = config_from_table({"deadcode": {"allow": ["repro.core.*"]}})
+        findings = self.scan(tmp_path, files, config=config)
+        assert findings == []
+
+    def test_inline_suppression_honored(self, tmp_path):
+        findings = self.scan(
+            tmp_path,
+            {
+                "src/repro/core/util.py": """
+                __all__ = [
+                    "quiet_dead",  # reprolint: disable=RL007
+                ]
+
+                def quiet_dead():
+                    return 1
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_disable_in_config(self, tmp_path):
+        config = config_from_table({"disable": ["RL007"]})
+        findings = self.scan(
+            tmp_path,
+            {
+                "src/repro/core/util.py": """
+                __all__ = ["dead"]
+
+                def dead():
+                    return 1
+                """,
+            },
+            config=config,
+        )
+        assert findings == []
+
+    def test_cli_reports_dead_export(self, tmp_path, capsys, monkeypatch):
+        self.write_tree(
+            tmp_path,
+            {
+                "src/repro/core/util.py": """
+                __all__ = ["dead_name"]
+
+                def dead_name():
+                    return 1
+                """,
+            },
+        )
+        monkeypatch.chdir(tmp_path)  # keep the repo pyproject out of discovery
+        exit_code = repro_main(["lint", str(tmp_path / "src")])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "RL007" in out and "dead_name" in out
 
 
 class TestEndToEnd:

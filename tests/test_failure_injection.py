@@ -20,7 +20,9 @@ from repro.automl import AutoMLClassifier, ModelFamily, RandomSearch
 from repro.automl.spaces import FloatRange, default_model_families
 from repro.exceptions import ReproError, SearchBudgetError, ValidationError
 from repro.experiments import Table1Config, run_table1
+from repro.experiments.grid import CellFailure, GridResult
 from repro.experiments.runner import STRATEGIES, AugmentationResult, strategy
+from repro.experiments.tasks import GRID_CELL_TASK
 from repro.ml import GaussianNB
 from repro.runtime import ArtifactCache, SerialExecutor, TaskError, TaskRuntime
 
@@ -132,6 +134,12 @@ TINY_GRID = Table1Config(
 )
 
 
+#: Toggle for the ``test_flaky`` strategy: ``True`` poisons it.  Flipping
+#: this between runs models "the bug got fixed" — the strategy *name*
+#: (which cell cache keys hash) stays the same, only the behaviour heals.
+_FLAKY_STATE = {"fail": True}
+
+
 def _ensure_injection_strategies() -> None:
     """Register the poisoned strategies once per process.
 
@@ -150,6 +158,14 @@ def _ensure_injection_strategies() -> None:
         @strategy("test_sleep")
         def _sleep(ctx) -> AugmentationResult:
             time.sleep(4.0)
+            return AugmentationResult(train=ctx.train, points_added=0)
+
+    if "test_flaky" not in STRATEGIES:
+
+        @strategy("test_flaky")
+        def _flaky(ctx) -> AugmentationResult:
+            if _FLAKY_STATE["fail"]:
+                raise RuntimeError("injected transient failure")
             return AugmentationResult(train=ctx.train, points_added=0)
 
 
@@ -218,6 +234,64 @@ class TestGridDegradation:
             cold_table.scores("no_feedback").scores, warm_table.scores("no_feedback").scores
         )
 
+class TestGridResume:
+    """A degraded run's partial cache resumes with only the failed cells."""
+
+    def test_resume_reexecutes_only_failed_cells(self, tmp_path):
+        _ensure_injection_strategies()
+        algorithms = ["no_feedback", "test_flaky"]
+
+        _FLAKY_STATE["fail"] = True
+        try:
+            first = TaskRuntime(SerialExecutor(), cache=ArtifactCache(tmp_path / "cache"))
+            table, record = run_table1(TINY_GRID, algorithms=algorithms, runtime=first)
+        finally:
+            _FLAKY_STATE["fail"] = False
+
+        grid = record.metadata["grid"]
+        assert grid["dropped_algorithms"] == ["test_flaky"]
+        assert grid["resumed_initial_fits"] == 0 and grid["resumed_cells"] == 0
+        # The failed cell was never cached — that's what makes resume work.
+        assert first.stats["failed"] == 1
+        assert first.stats["cache_stores"] == first.stats["executed"]
+
+        # "Fix the bug" (flag already flipped above) and rerun against the
+        # same cache: only the previously-failed cell may execute.
+        second = TaskRuntime(SerialExecutor(), cache=ArtifactCache(tmp_path / "cache"))
+        resumed_table, resumed_record = run_table1(TINY_GRID, algorithms=algorithms, runtime=second)
+
+        assert second.executions_of(GRID_CELL_TASK) == 1  # just the healed flaky cell
+        assert second.stats["executed"] == 1
+        assert second.stats["failed"] == 0
+        resumed_grid = resumed_record.metadata["grid"]
+        assert resumed_grid["failed_cells"] == [] and resumed_grid["dropped_algorithms"] == []
+        assert resumed_grid["resumed_initial_fits"] == TINY_GRID.n_repeats == 1
+        assert resumed_grid["resumed_cells"] == 1  # the healthy no_feedback cell replayed
+        assert sorted(resumed_table.names()) == sorted(algorithms)
+        # Replayed scores are the cached ones, bitwise.
+        np.testing.assert_array_equal(
+            table.scores("no_feedback").scores, resumed_table.scores("no_feedback").scores
+        )
+
+    def test_gridresult_metadata_reports_resume_counts(self):
+        result = GridResult(
+            collected={"a": [0.5]},
+            n_cells=2,
+            n_repeats=1,
+            failures=[CellFailure(0, "b", "cell", "boom")],
+            dropped_algorithms=["b"],
+            resumed_initial_fits=1,
+            resumed_cells=3,
+        )
+        meta = result.metadata()
+        assert meta["resumed_initial_fits"] == 1
+        assert meta["resumed_cells"] == 3
+        assert meta["failed_cells"] == [
+            {"repeat": 0, "algorithm": "b", "stage": "cell", "error": "boom"}
+        ]
+
+
+class TestGridTimeouts:
     @pytest.mark.slow
     def test_cell_timeout_degrades_gracefully(self):
         _ensure_injection_strategies()
