@@ -95,7 +95,10 @@ class EnsembleClassifier:
         The single member sweep everything else derives from: the weighted
         ensemble probabilities are an accumulation over this stack, and the
         serving layer's committee-disagreement monitor is its per-point
-        standard deviation — one pass over the members answers both.
+        standard deviation — one pass over the members answers both.  Tree
+        ensemble members evaluate through their
+        :class:`repro.ml.kernels.TreeBank` fast path here, so the kernel
+        speedup reaches serving and committee profiles transitively.
         """
         check_is_fitted(self, "fitted_")
         return np.stack([self._aligned_member_proba(member, X) for member in self.members])

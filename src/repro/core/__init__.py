@@ -11,7 +11,7 @@ Public surface:
 - rendering (:func:`explain_report`, :func:`ascii_ale_plot`).
 """
 
-from .ale import ALECurve, ale_curve, ale_curves_for_models, make_grid
+from .ale import ALECurve, ale_curve, ale_curves_for_features, ale_curves_for_models, make_grid
 from .ale2d import ALESurface, ale_interaction, interaction_disagreement
 from .pdp import pdp_curve, pdp_curves_for_models
 from .explanations import ascii_ale_plot, curves_to_csv, explain_report
@@ -28,6 +28,7 @@ from .subspace import Box, FeatureDomain, Interval, IntervalUnion, SubspaceUnion
 __all__ = [
     "ALECurve",
     "ale_curve",
+    "ale_curves_for_features",
     "ale_curves_for_models",
     "make_grid",
     "ALESurface",

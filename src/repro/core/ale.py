@@ -13,6 +13,15 @@ class, so an :class:`ALECurve` carries a ``(K, n_classes)`` value matrix.
 All curves produced from the same :func:`make_grid` edges are directly
 comparable across models — the property the feedback algorithm's
 across-model standard deviation relies on.
+
+Batching: a model's curves for *many* features need one perturbed (lo,
+hi) copy pair of ``X`` per feature, and every copy is independent of the
+others — so :func:`ale_curves_for_features` stacks consecutive copies
+into large ``predict_proba`` batches (bounded by ``max_batch_rows``)
+instead of issuing two model calls per feature.  Each row's prediction
+is independent of its batch neighbours for every model in this library,
+so batch composition never changes the produced bits — the same
+invariant the serving engine's micro-batching relies on.
 """
 
 from __future__ import annotations
@@ -23,7 +32,18 @@ import numpy as np
 
 from ..exceptions import ValidationError
 
-__all__ = ["ALECurve", "make_grid", "ale_curve", "ale_curves_for_models"]
+__all__ = [
+    "ALECurve",
+    "make_grid",
+    "ale_curve",
+    "ale_curves_for_features",
+    "ale_curves_for_models",
+]
+
+#: Default row bound for one stacked ``predict_proba`` call.  Perturbed
+#: copies are float64 matrices of ``X.shape[1]`` columns, so at the
+#: paper's widest schema (12 features) a full batch stays ~6 MiB.
+DEFAULT_MAX_BATCH_ROWS = 65536
 
 
 @dataclass
@@ -81,13 +101,25 @@ def make_grid(
     equal data mass; ``uniform`` edges span the feature's domain evenly,
     which reads more naturally on plots with a physical x-axis (link rate,
     port number).  Duplicate edges from heavy value ties are dropped.
+
+    ``domain`` bounds the grid for both strategies: ``uniform`` edges
+    span it directly, and ``quantile`` edges honor it by clipping the
+    quantile source into ``[low, high]`` — out-of-domain samples pile
+    onto the boundary instead of stretching the grid beyond the declared
+    feature domain.  A degenerate domain (``low >= high``) raises.
     """
     x = np.asarray(x, dtype=np.float64).ravel()
     if x.size < 2:
         raise ValidationError("need at least 2 samples to build an ALE grid")
     if grid_size < 2:
         raise ValidationError(f"grid_size must be >= 2, got {grid_size}")
+    if domain is not None:
+        low, high = float(domain[0]), float(domain[1])
+        if low >= high:
+            raise ValidationError(f"degenerate domain for {strategy} grid: [{low}, {high}]")
     if strategy == "quantile":
+        if domain is not None:
+            x = np.clip(x, low, high)
         quantiles = np.linspace(0.0, 1.0, grid_size + 1)
         edges = np.quantile(x, quantiles)
     elif strategy == "uniform":
@@ -103,6 +135,146 @@ def make_grid(
     return edges
 
 
+def _validated_edges(edges: np.ndarray) -> np.ndarray:
+    edges = np.asarray(edges, dtype=np.float64)
+    if edges.ndim != 1 or edges.size < 2:
+        raise ValidationError("edges must be a 1-D array with at least 2 entries")
+    return edges
+
+
+def _stacked_proba(model, blocks, max_batch_rows: int) -> list[np.ndarray]:
+    """Evaluate ``model.predict_proba`` over a sequence of row blocks.
+
+    ``blocks`` yields ``(n, d)`` matrices; consecutive blocks concatenate
+    into one model call as long as the call stays within
+    ``max_batch_rows`` (a call always takes at least one whole block, so
+    a tiny bound degrades to one call per block — the historical
+    two-calls-per-feature shape).  Returns per-block probability
+    matrices, exactly as if each block had been evaluated alone.
+    """
+    results: list[np.ndarray] = []
+    pending: list[np.ndarray] = []
+    pending_rows = 0
+
+    def flush() -> None:
+        nonlocal pending, pending_rows
+        if not pending:
+            return
+        proba = np.asarray(model.predict_proba(np.concatenate(pending, axis=0)))
+        splits = np.cumsum([block.shape[0] for block in pending])[:-1]
+        results.extend(np.split(proba, splits, axis=0))
+        pending = []
+        pending_rows = 0
+
+    for block in blocks:
+        if pending and pending_rows + block.shape[0] > max_batch_rows:
+            flush()
+        pending.append(block)
+        pending_rows += block.shape[0]
+    flush()
+    return results
+
+
+def ale_curves_for_features(
+    model,
+    X: np.ndarray,
+    feature_indices,
+    edges_per_feature,
+    *,
+    feature_names=None,
+    max_batch_rows: int | None = None,
+) -> list[ALECurve]:
+    """First-order ALE curves of one model for several features, batched.
+
+    The workhorse behind :func:`ale_curve` and the committee profiles:
+    for every feature it pins the feature column to each bin's left and
+    right edge (two perturbed copies of ``X``), stacks consecutive copies
+    into ``predict_proba`` batches of at most ``max_batch_rows`` rows,
+    and assembles each feature's curve from the per-copy probability
+    slices.  ``model`` must expose ``predict_proba``.  Samples outside an
+    edge range are clamped into the first/last bin, so a grid built from
+    the training data also works on augmented datasets.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValidationError("X must be 2-dimensional")
+    if X.shape[0] == 0:
+        raise ValidationError("X has no samples; ALE needs a non-empty dataset")
+    feature_indices = [int(index) for index in feature_indices]
+    edges_per_feature = [_validated_edges(edges) for edges in edges_per_feature]
+    if len(edges_per_feature) != len(feature_indices):
+        raise ValidationError(
+            f"{len(feature_indices)} features but {len(edges_per_feature)} edge arrays"
+        )
+    if feature_names is not None and len(feature_names) != len(feature_indices):
+        raise ValidationError(
+            f"{len(feature_indices)} features but {len(feature_names)} names"
+        )
+    for index in feature_indices:
+        if not 0 <= index < X.shape[1]:
+            raise ValidationError(
+                f"feature_index {index} out of range for {X.shape[1]} features"
+            )
+    if max_batch_rows is None:
+        max_batch_rows = DEFAULT_MAX_BATCH_ROWS
+    if max_batch_rows < 1:
+        raise ValidationError(f"max_batch_rows must be >= 1, got {max_batch_rows}")
+
+    bins_per_feature = []
+    for index, edges in zip(feature_indices, edges_per_feature):
+        n_bins = edges.size - 1
+        column = X[:, index]
+        bins_per_feature.append(
+            np.clip(np.searchsorted(edges, column, side="right") - 1, 0, n_bins - 1)
+        )
+
+    def perturbed_blocks():
+        # lo then hi per feature, in feature order: block 2i is feature
+        # i's left-edge copy, block 2i+1 its right-edge copy.
+        for index, edges, bins in zip(feature_indices, edges_per_feature, bins_per_feature):
+            for edge_of_bin in (edges[bins], edges[bins + 1]):
+                block = X.copy()
+                block[:, index] = edge_of_bin
+                yield block
+
+    probas = _stacked_proba(model, perturbed_blocks(), max_batch_rows)
+
+    curves: list[ALECurve] = []
+    for position, (index, edges, bins) in enumerate(
+        zip(feature_indices, edges_per_feature, bins_per_feature)
+    ):
+        proba_lo, proba_hi = probas[2 * position], probas[2 * position + 1]
+        n_classes = proba_lo.shape[1]
+        n_bins = edges.size - 1
+        deltas = proba_hi - proba_lo
+        local_effects = np.zeros((n_bins, n_classes))
+        counts = np.zeros(n_bins, dtype=np.int64)
+        for k in range(n_bins):
+            members = bins == k
+            count = int(members.sum())
+            counts[k] = count
+            if count:
+                local_effects[k] = deltas[members].mean(axis=0)
+
+        accumulated = np.cumsum(local_effects, axis=0)
+        total = counts.sum()
+        center = (counts[:, None] * accumulated).sum(axis=0) / total
+        if feature_names is not None and feature_names[position]:
+            name = feature_names[position]
+        else:
+            name = f"feature_{index}"
+        curves.append(
+            ALECurve(
+                feature_index=index,
+                feature_name=name,
+                edges=edges,
+                values=accumulated - center,
+                counts=counts,
+            )
+        )
+    return curves
+
+
 def ale_curve(
     model,
     X: np.ndarray,
@@ -115,51 +287,18 @@ def ale_curve(
 
     ``model`` must expose ``predict_proba``.  Samples outside the edge
     range are clamped into the first/last bin, so a grid built from the
-    training data also works on augmented datasets.
+    training data also works on augmented datasets.  Raises
+    :class:`ValidationError` for an empty ``X`` (an empty dataset has no
+    local effects — the curve would be all-NaN).
     """
-    X = np.asarray(X, dtype=np.float64)
-    if X.ndim != 2:
-        raise ValidationError("X must be 2-dimensional")
-    if not 0 <= feature_index < X.shape[1]:
-        raise ValidationError(f"feature_index {feature_index} out of range for {X.shape[1]} features")
-    edges = np.asarray(edges, dtype=np.float64)
-    if edges.ndim != 1 or edges.size < 2:
-        raise ValidationError("edges must be a 1-D array with at least 2 entries")
-    n_bins = edges.size - 1
-
-    column = X[:, feature_index]
-    bins = np.clip(np.searchsorted(edges, column, side="right") - 1, 0, n_bins - 1)
-
-    # Evaluate the model on two perturbed copies per occupied bin: the
-    # feature pinned to the bin's left and right edge.
-    probe = model.predict_proba(X[:1])
-    n_classes = probe.shape[1]
-    local_effects = np.zeros((n_bins, n_classes))
-    counts = np.zeros(n_bins, dtype=np.int64)
-    lo_batch = X.copy()
-    hi_batch = X.copy()
-    lo_batch[:, feature_index] = edges[bins]
-    hi_batch[:, feature_index] = edges[bins + 1]
-    proba_lo = model.predict_proba(lo_batch)
-    proba_hi = model.predict_proba(hi_batch)
-    deltas = proba_hi - proba_lo
-    for k in range(n_bins):
-        members = bins == k
-        count = int(members.sum())
-        counts[k] = count
-        if count:
-            local_effects[k] = deltas[members].mean(axis=0)
-
-    accumulated = np.cumsum(local_effects, axis=0)
-    total = counts.sum()
-    center = (counts[:, None] * accumulated).sum(axis=0) / total
-    return ALECurve(
-        feature_index=feature_index,
-        feature_name=feature_name or f"feature_{feature_index}",
-        edges=edges,
-        values=accumulated - center,
-        counts=counts,
+    [curve] = ale_curves_for_features(
+        model,
+        X,
+        [feature_index],
+        [edges],
+        feature_names=[feature_name] if feature_name is not None else None,
     )
+    return curve
 
 
 def ale_curves_for_models(
@@ -170,7 +309,12 @@ def ale_curves_for_models(
     *,
     feature_name: str | None = None,
 ) -> list[ALECurve]:
-    """ALE curves of several models on a shared grid (committee input)."""
+    """ALE curves of several models on a shared grid (committee input).
+
+    Each model's (lo, hi) perturbed copies evaluate in one stacked
+    ``predict_proba`` call (see :func:`ale_curves_for_features`) instead
+    of the historical two passes per model.
+    """
     models = list(models)
     if not models:
         raise ValidationError("need at least one model")

@@ -27,7 +27,7 @@ import numpy as np
 
 from ..exceptions import ValidationError
 from ..rng import RandomState, check_random_state
-from .ale import ALECurve, ale_curves_for_models, make_grid
+from .ale import ALECurve, ale_curves_for_features, make_grid
 from .subspace import Box, FeatureDomain, Interval, IntervalUnion, SubspaceUnion
 
 __all__ = [
@@ -343,7 +343,11 @@ class AleFeedback:
 
         Each feature's curve computation is independent of the others, so
         with a mapper the features fan out as ``ale.profile`` tasks; the
-        inline path computes the identical thing in feature order.
+        inline path computes the identical thing — batching each model's
+        (lo, hi) perturbed copies across *all* features into a handful of
+        ``predict_proba`` calls (:func:`repro.core.ale.ale_curves_for_features`).
+        Batch composition never changes a row's prediction, so both paths
+        produce bitwise-equal curves.
         """
         if self.task_mapper is not None:
             payloads = [
@@ -361,13 +365,19 @@ class AleFeedback:
         if self.interpreter == "pdp":
             from .pdp import pdp_curves_for_models
 
-            compute = pdp_curves_for_models
-        else:
-            compute = ale_curves_for_models
-        return [
-            compute(committee, X, index, all_edges[index], feature_name=domain.name)
-            for index, domain in enumerate(domains)
+            return [
+                pdp_curves_for_models(
+                    committee, X, index, all_edges[index], feature_name=domain.name
+                )
+                for index, domain in enumerate(domains)
+            ]
+        indices = list(range(len(domains)))
+        names = [domain.name for domain in domains]
+        per_model = [
+            ale_curves_for_features(model, X, indices, all_edges, feature_names=names)
+            for model in committee
         ]
+        return [[curves[index] for curves in per_model] for index in indices]
 
 
 def within_ale_committee(automl) -> list:

@@ -10,6 +10,7 @@ protocol intentionally mirrors scikit-learn (``fit`` / ``predict`` /
 from .base import BaseEstimator, ClassifierMixin, check_array, check_is_fitted, check_X_y, clone
 from .boosting import GradientBoostingClassifier
 from .forest import ExtraTreesClassifier, RandomForestClassifier
+from .kernels import TreeBank, per_member_fallback
 from .linear import LogisticRegression, softmax
 from .metrics import accuracy, balanced_accuracy, confusion_matrix, log_loss, macro_f1, precision_recall_f1
 from .model_selection import (
@@ -44,6 +45,8 @@ __all__ = [
     "RandomForestClassifier",
     "ExtraTreesClassifier",
     "GradientBoostingClassifier",
+    "TreeBank",
+    "per_member_fallback",
     "LogisticRegression",
     "softmax",
     "GaussianNB",

@@ -4,6 +4,13 @@ Multi-class gradient boosting with one regression tree per class per round,
 fit to the softmax cross-entropy gradient (the classic GBM recipe).  Depth
 is kept shallow by default; the model family contributes strong,
 differently-biased members to the AutoML ensemble.
+
+``decision_function`` evaluates every stage tree through one
+:class:`repro.ml.kernels.TreeBank` traversal instead of ``rounds ×
+classes`` per-tree passes; the logit accumulation replays the historical
+stage/class loop order exactly, keeping predictions bitwise-identical
+(``_decision_function_per_member`` keeps the legacy loop as the
+benchmark baseline and equivalence-test reference).
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import numpy as np
 from ..exceptions import ValidationError
 from ..rng import RandomState, check_random_state, spawn
 from .base import BaseEstimator, ClassifierMixin, check_array, check_is_fitted, check_X_y
+from .kernels import TreeBank, bank_enabled
 from .linear import softmax
 from .tree import DecisionTreeRegressor
 
@@ -91,18 +99,58 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
                 stage.append(tree)
             self.stages_.append(stage)
         self.n_features_ = X.shape[1]
+        self._bank = None
         return self
 
-    def decision_function(self, X) -> np.ndarray:
+    def __getstate__(self):
+        # The bank is a pure function of the stage trees — rebuild it
+        # lazily after unpickling instead of doubling the artifact bytes.
+        state = self.__dict__.copy()
+        state["_bank"] = None
+        return state
+
+    def _tree_bank(self) -> TreeBank:
+        """All stage trees, stage-major, in one struct-of-arrays bank."""
+        bank = getattr(self, "_bank", None)
+        if bank is None:
+            bank = TreeBank([tree.tree_ for stage in self.stages_ for tree in stage])
+            self._bank = bank
+        return bank
+
+    def _validate_predict_input(self, X) -> np.ndarray:
         check_is_fitted(self, "stages_")
         X = check_array(X)
         if X.shape[1] != self.n_features_:
             raise ValidationError(f"expected {self.n_features_} features, got {X.shape[1]}")
+        return X
+
+    def decision_function(self, X) -> np.ndarray:
+        X = self._validate_predict_input(X)
+        if not bank_enabled():
+            return self._accumulate_stage_logits(X)
+        bank = self._tree_bank()
+        leaves = bank.apply(X)  # (rounds * classes, n) stage-major
+        # Accumulate stage by stage, class by class — the identical float
+        # sequence the per-tree loop performs — so logits stay bitwise-equal.
+        logits = np.tile(self.base_score_, (X.shape[0], 1))
+        index = 0
+        for stage in self.stages_:
+            for c in range(len(stage)):
+                logits[:, c] += self.learning_rate * bank.value[leaves[index], 0]
+                index += 1
+        return logits
+
+    def _accumulate_stage_logits(self, X: np.ndarray) -> np.ndarray:
+        """Legacy per-tree loop (benchmark baseline / equivalence reference)."""
         logits = np.tile(self.base_score_, (X.shape[0], 1))
         for stage in self.stages_:
             for c, tree in enumerate(stage):
                 logits[:, c] += self.learning_rate * tree.predict(X)
         return logits
+
+    def _decision_function_per_member(self, X) -> np.ndarray:
+        """Validated entry point for the legacy path (tests, benchmarks)."""
+        return self._accumulate_stage_logits(self._validate_predict_input(X))
 
     def predict_proba(self, X) -> np.ndarray:
         return softmax(self.decision_function(X))

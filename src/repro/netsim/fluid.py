@@ -144,6 +144,8 @@ def run_fluid_scenario(
         avg_delay_ms=float(np.average(delays, weights=weights)),
         p95_delay_ms=_weighted_percentile(delays, weights, 0.95),
         throughput_mbps=float(throughput_mbps),
-        loss_fraction=float(lost_total / sent_total) if sent_total else 0.0,
+        # Clamp: per-step float rounding can put lost/sent a few ulps
+        # above 1.0 when nearly every packet of a step is dropped.
+        loss_fraction=float(min(1.0, lost_total / sent_total)) if sent_total else 0.0,
         utilization=float(min(1.0, delivered_total / (capacity * duration))),
     )

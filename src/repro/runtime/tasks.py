@@ -52,7 +52,10 @@ def ale_profile(payload: Mapping[str, Any], ctx: TaskContext) -> Any:
 
     Payload: ``committee`` (fitted models), ``X``, ``feature_index``,
     ``edges``, ``feature_name``, and ``interpreter`` (``"ale"``/``"pdp"``).
-    Deterministic — no seed path needed.
+    Deterministic — no seed path needed.  The ALE path stacks each
+    model's (lo, hi) perturbed copies into one ``predict_proba`` call
+    (:func:`repro.core.ale.ale_curves_for_models` batches internally),
+    bitwise-equal to the historical two-pass computation.
     """
     interpreter = payload.get("interpreter", "ale")
     if interpreter == "pdp":

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.ale import ale_curve, ale_curves_for_models, make_grid
+from repro.core.ale import ale_curve, ale_curves_for_features, ale_curves_for_models, make_grid
 from repro.exceptions import ValidationError
 from repro.ml.linear import softmax
 
@@ -68,6 +68,26 @@ class TestMakeGrid:
             make_grid(np.array([1.0, 2.0]), strategy="magic")
         with pytest.raises(ValidationError):
             make_grid(np.array([1.0, 2.0]), strategy="uniform", domain=(5, 5))
+
+    def test_quantile_domain_clips_source(self):
+        rng = np.random.default_rng(5)
+        x = np.concatenate([rng.uniform(0, 1, size=400), [-50.0, 50.0]])
+        edges = make_grid(x, grid_size=8, strategy="quantile", domain=(0.0, 1.0))
+        assert edges[0] >= 0.0 and edges[-1] <= 1.0
+        # Without the domain the outliers stretch the grid far beyond it.
+        unbounded = make_grid(x, grid_size=8, strategy="quantile")
+        assert unbounded[0] < 0.0 and unbounded[-1] > 1.0
+
+    def test_quantile_domain_noop_when_data_inside(self):
+        rng = np.random.default_rng(6)
+        x = rng.uniform(0.2, 0.8, size=300)
+        bounded = make_grid(x, grid_size=8, strategy="quantile", domain=(0.0, 1.0))
+        unbounded = make_grid(x, grid_size=8, strategy="quantile")
+        assert np.array_equal(bounded, unbounded)
+
+    def test_quantile_degenerate_domain_rejected(self):
+        with pytest.raises(ValidationError, match="degenerate"):
+            make_grid(np.array([1.0, 2.0, 3.0]), strategy="quantile", domain=(2.0, 2.0))
 
 
 class TestAleCurve:
@@ -136,6 +156,12 @@ class TestAleCurve:
         with pytest.raises(ValidationError):
             ale_curve(model, X[0], 0, np.array([0.0, 1.0]))
 
+    def test_empty_X_rejected(self):
+        # Regression: an empty dataset used to flow through to an all-NaN
+        # curve (0/0 in the centering step) instead of failing loudly.
+        with pytest.raises(ValidationError, match="no samples"):
+            ale_curve(_IgnoresFeatureModel(), np.empty((0, 3)), 0, np.array([0.0, 1.0]))
+
     def test_ale_insensitive_to_correlated_shift(self):
         # The key ALE property vs PDP: effects are computed locally, so a
         # strong correlation between features does not leak feature 1's
@@ -171,6 +197,74 @@ class TestAleAcrossModels:
         X, _ = blobs_2class
         with pytest.raises(ValidationError):
             ale_curves_for_models([], X, 0, np.array([0.0, 1.0]))
+
+
+class _CountingModel(_LinearProbaModel):
+    """Counts predict_proba calls to observe batching behaviour."""
+
+    def __init__(self, weights):
+        super().__init__(weights)
+        self.calls = 0
+
+    def predict_proba(self, X):
+        self.calls += 1
+        return super().predict_proba(X)
+
+
+class TestBatchedCurves:
+    def _setup(self, seed=0, n=200, d=3, n_features=3):
+        X = np.random.default_rng(seed).uniform(-2, 2, size=(n, d))
+        edges = [make_grid(X[:, j], grid_size=8) for j in range(n_features)]
+        return X, list(range(n_features)), edges
+
+    def test_batched_bitwise_equals_per_feature(self):
+        X, indices, edges = self._setup()
+        model = _LinearProbaModel([1.0, -0.5, 0.25])
+        batched = ale_curves_for_features(model, X, indices, edges)
+        for j, curve in zip(indices, batched):
+            single = ale_curve(model, X, j, edges[j])
+            assert np.array_equal(curve.values, single.values)
+            assert np.array_equal(curve.counts, single.counts)
+            assert np.array_equal(curve.edges, single.edges)
+
+    def test_tiny_batch_bound_bitwise_identical(self):
+        # max_batch_rows=1 degrades to one call per perturbed copy — the
+        # historical shape — and must still produce the same bits.
+        X, indices, edges = self._setup(seed=1)
+        model = _LinearProbaModel([0.5, 1.5, -1.0])
+        default = ale_curves_for_features(model, X, indices, edges)
+        unbatched = ale_curves_for_features(model, X, indices, edges, max_batch_rows=1)
+        for a, b in zip(default, unbatched):
+            assert np.array_equal(a.values, b.values)
+            assert np.array_equal(a.counts, b.counts)
+
+    def test_batching_reduces_model_calls(self):
+        X, indices, edges = self._setup(seed=2)
+        batched = _CountingModel([1.0, 0.0, 0.0])
+        ale_curves_for_features(batched, X, indices, edges)
+        assert batched.calls == 1  # 6 copies of 200 rows fit in one batch
+        unbatched = _CountingModel([1.0, 0.0, 0.0])
+        ale_curves_for_features(unbatched, X, indices, edges, max_batch_rows=1)
+        assert unbatched.calls == 2 * len(indices)
+
+    def test_feature_names_and_defaults(self):
+        X, indices, edges = self._setup()
+        named = ale_curves_for_features(
+            _IgnoresFeatureModel(), X, indices, edges, feature_names=["a", "b", "c"]
+        )
+        assert [c.feature_name for c in named] == ["a", "b", "c"]
+        unnamed = ale_curves_for_features(_IgnoresFeatureModel(), X, indices, edges)
+        assert [c.feature_name for c in unnamed] == [f"feature_{j}" for j in indices]
+
+    def test_validation(self):
+        X, indices, edges = self._setup()
+        model = _IgnoresFeatureModel()
+        with pytest.raises(ValidationError, match="edge arrays"):
+            ale_curves_for_features(model, X, indices, edges[:-1])
+        with pytest.raises(ValidationError, match="names"):
+            ale_curves_for_features(model, X, indices, edges, feature_names=["a"])
+        with pytest.raises(ValidationError, match="max_batch_rows"):
+            ale_curves_for_features(model, X, indices, edges, max_batch_rows=0)
 
 
 @settings(max_examples=25, deadline=None)

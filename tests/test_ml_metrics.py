@@ -78,6 +78,42 @@ class TestConfusionMatrix:
         matrix = confusion_matrix(y_true, y_pred)
         assert matrix.sum(axis=1).tolist() == [2, 1, 3]
 
+    @staticmethod
+    def _reference(y_true, y_pred, labels):
+        """The pre-vectorization per-sample loop, kept as the oracle."""
+        index = {label: i for i, label in enumerate(labels)}
+        matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+        for t, p in zip(y_true, y_pred):
+            matrix[index[t], index[p]] += 1
+        return matrix
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_reference_loop(self, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 5, size=300)
+        y_pred = rng.integers(0, 5, size=300)
+        expected = self._reference(y_true, y_pred, [0, 1, 2, 3, 4])
+        assert np.array_equal(confusion_matrix(y_true, y_pred), expected)
+
+    def test_unsorted_explicit_labels(self):
+        y_true = np.array([2, 0, 1, 2, 1])
+        y_pred = np.array([0, 0, 2, 2, 1])
+        labels = [2, 0, 1]  # deliberately not sorted
+        expected = self._reference(y_true, y_pred, labels)
+        assert np.array_equal(confusion_matrix(y_true, y_pred, labels=labels), expected)
+
+    def test_string_labels(self):
+        matrix = confusion_matrix(
+            ["tcp", "udp", "tcp"], ["udp", "udp", "tcp"], labels=["udp", "tcp"]
+        )
+        assert matrix.tolist() == [[1, 0], [1, 1]]
+
+    def test_unknown_label_message_names_first_bad_pair(self):
+        with pytest.raises(ValidationError, match="label 2 or 0 not in the provided labels"):
+            confusion_matrix([0, 2, 3], [0, 0, 0], labels=[0, 1])
+        with pytest.raises(ValidationError, match="label 0 or 9 not in the provided labels"):
+            confusion_matrix([0, 0], [0, 9], labels=[0, 1])
+
 
 class TestPrecisionRecallF1:
     def test_known_values(self):

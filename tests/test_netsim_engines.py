@@ -84,6 +84,16 @@ class TestFluidEngine:
         b = run_fluid_scenario(CLEAN, "scream", random_state=9)
         assert a.p95_delay_ms == b.p95_delay_ms
 
+    def test_loss_fraction_clamped_at_one(self):
+        # Regression: a shallow queue under scream drops nearly every
+        # packet, and per-step rounding pushed lost/sent a few ulps above
+        # 1.0 before the clamp was added.
+        brutal = NetworkScenario(
+            bandwidth_mbps=9.0, rtt_ms=6.0, loss_rate=0.0, n_flows=1, queue_bdp=0.5
+        )
+        metrics = run_fluid_scenario(brutal, "scream", random_state=0)
+        assert metrics.loss_fraction == 1.0
+
 
 class TestEngineAgreement:
     """The orderings the labels rely on must hold in BOTH engines."""
