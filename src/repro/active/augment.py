@@ -1,0 +1,84 @@
+"""Deterministic training-set augmentation for the retraining loop.
+
+The online loop folds operator-labeled feedback points into the training
+set before every refit.  Doing that naively (``np.vstack`` and hope) has
+two failure modes the loop cannot afford: a point served twice lands in
+the set twice (doubling its weight arbitrarily), and the merge order
+depends on queue timing (breaking the determinism contract the artifact
+cache keys on).  :func:`merge_labeled` fixes both — base rows first and
+untouched, new rows appended in their given order, bitwise-duplicate
+rows skipped — so the merged set is a pure function of (base set, new
+points in drain order), which is exactly the payload the retrain task
+digests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["merge_labeled"]
+
+
+def merge_labeled(
+    X,
+    y,
+    X_new,
+    y_new,
+    *,
+    dedup: bool = True,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Append newly labeled points to a training set, deterministically.
+
+    Parameters
+    ----------
+    X, y:
+        The base training set (kept first, byte-for-byte unchanged).
+    X_new, y_new:
+        Newly labeled points, appended in their given order.
+    dedup:
+        With ``True`` (default) a new row whose feature bytes exactly
+        match an existing row — or an earlier new row — is skipped, and
+        the existing label wins: relabeling a point the set already
+        contains must not double its weight or flip it mid-merge.
+
+    Returns
+    -------
+    The merged ``(X, y)`` arrays plus the number of rows actually added.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    X_new = np.asarray(X_new, dtype=np.float64)
+    y_new = np.asarray(y_new)
+    if X.ndim != 2 or X_new.ndim != 2:
+        raise ValidationError("X and X_new must be 2-dimensional")
+    if X_new.shape[0] and X_new.shape[1] != X.shape[1]:
+        raise ValidationError(
+            f"X has {X.shape[1]} features but X_new has {X_new.shape[1]}"
+        )
+    if y.shape[0] != X.shape[0]:
+        raise ValidationError(f"{X.shape[0]} rows but {y.shape[0]} labels")
+    if y_new.shape[0] != X_new.shape[0]:
+        raise ValidationError(f"{X_new.shape[0]} new rows but {y_new.shape[0]} new labels")
+
+    if X_new.shape[0] == 0:
+        return X, y, 0
+    if not dedup:
+        return np.concatenate([X, X_new]), np.concatenate([y, y_new]), int(X_new.shape[0])
+
+    seen = {np.ascontiguousarray(row).tobytes() for row in X}
+    keep: list[int] = []
+    for index, row in enumerate(X_new):
+        key = np.ascontiguousarray(row).tobytes()
+        if key in seen:
+            continue
+        seen.add(key)
+        keep.append(index)
+    if not keep:
+        return X, y, 0
+    return (
+        np.concatenate([X, X_new[keep]]),
+        np.concatenate([y, y_new[keep]]),
+        len(keep),
+    )

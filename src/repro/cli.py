@@ -11,8 +11,10 @@ table or figure without touching Python:
 - ``emulate``  — run one network scenario through every protocol;
 - ``lint``     — run reprolint (RL001-RL007) over the source tree;
 - ``cache``    — inspect/clear/prune the artifact cache;
-- ``registry`` — inspect/promote/rollback served model versions;
-- ``serve``    — serve a registered model over the JSON HTTP API.
+- ``registry`` — inspect/promote/rollback/gc served model versions;
+- ``serve``    — serve a registered model over the JSON HTTP API;
+- ``loop``     — run the online retraining-loop demo, or report loop
+  status (promotion decisions, labeling journals) from a registry.
 
 ``table1`` and ``ucl`` accept ``--workers N`` and ``--cache
 {on,off,refresh}``.  The whole experiment grid is sharded through the
@@ -238,6 +240,15 @@ def _cmd_registry(args: argparse.Namespace) -> int:
     from .serve import ModelRegistry
 
     registry = ModelRegistry(args.dir)
+    if args.action == "gc":
+        result = registry.gc(dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        print(
+            f"{verb} {result['unreferenced'] if args.dry_run else result['removed']} "
+            f"unreferenced artifact(s) ({result['bytes_freed']} bytes); "
+            f"{result['referenced']} referenced key(s) kept"
+        )
+        return 0
     if args.action == "promote":
         if args.name is None or args.version is None:
             print("registry promote requires NAME and --version N", file=sys.stderr)
@@ -253,6 +264,45 @@ def _cmd_registry(args: argparse.Namespace) -> int:
         print(f"rolled {args.name} back to v{version}")
         return 0
     print(registry.describe())
+    return 0
+
+
+def _cmd_loop(args: argparse.Namespace) -> int:
+    import json
+
+    if args.action == "status":
+        from .serve import ModelRegistry, default_registry_dir
+
+        registry = ModelRegistry(args.dir)
+        directory = args.dir if args.dir is not None else default_registry_dir()
+        print(registry.describe())
+        for name in registry.names():
+            for version, info in registry.versions(name).items():
+                loop_meta = info.get("metadata", {}).get("loop")
+                if loop_meta:
+                    verdict = "promoted" if loop_meta["promoted"] else "rejected"
+                    reasons = "; ".join(loop_meta["reasons"]) or "all gates passed"
+                    print(f"  {name} v{version}: loop {verdict} ({reasons})")
+            journal = Path(directory) / "labeling" / f"{name}.jsonl"
+            if journal.exists():
+                print(f"  {name}: labeling journal {journal} ({journal.stat().st_size} bytes)")
+        return 0
+
+    from .loop import run_demo
+
+    summary = run_demo(args.dir if args.dir is not None else Path(".") / "loop-demo", seed=args.seed)
+    for index, event in enumerate(summary["ticks"]):
+        print(f"tick {index:2d}: {json.dumps(event, sort_keys=True)}")
+    print(summary["registry"])
+    if args.json:
+        print(json.dumps(summary["status"], indent=2, sort_keys=True))
+    else:
+        counters = summary["status"]["counters"]
+        print(
+            f"loop: {counters['loop_triggers']} trigger(s), {counters['loop_retrains']} retrain(s), "
+            f"{counters['loop_promotions']} promotion(s), {counters['loop_rejections']} rejection(s); "
+            f"serving v{summary['status']['serving_version']}"
+        )
     return 0
 
 
@@ -343,12 +393,20 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--max-mb", type=float, default=None, help="prune target size in MiB")
     cache.set_defaults(handler=_cmd_cache)
 
-    registry = subparsers.add_parser("registry", help="inspect/promote/rollback served models")
-    registry.add_argument("action", choices=("list", "promote", "rollback"), nargs="?", default="list")
+    registry = subparsers.add_parser("registry", help="inspect/promote/rollback/gc served models")
+    registry.add_argument("action", choices=("list", "promote", "rollback", "gc"), nargs="?", default="list")
     registry.add_argument("name", nargs="?", default=None, help="model name (promote/rollback)")
     registry.add_argument("--version", type=int, default=None, help="version to promote")
     registry.add_argument("--dir", type=Path, default=None, help="registry directory override")
+    registry.add_argument("--dry-run", action="store_true", help="gc: report what would be removed, delete nothing")
     registry.set_defaults(handler=_cmd_registry)
+
+    loop = subparsers.add_parser("loop", help="run the retraining-loop demo / show loop status")
+    loop.add_argument("action", choices=("demo", "status"), nargs="?", default="demo")
+    loop.add_argument("--dir", type=Path, default=None, help="working/registry directory override")
+    loop.add_argument("--seed", type=int, default=0, help="demo seed")
+    loop.add_argument("--json", action="store_true", help="demo: print the final status as JSON")
+    loop.set_defaults(handler=_cmd_loop)
 
     serve = subparsers.add_parser("serve", help="serve a registered model over HTTP")
     serve.add_argument("name", help="registered model name")

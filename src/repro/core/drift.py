@@ -1,0 +1,126 @@
+"""ALE-drift comparison: a candidate committee against a stored report.
+
+Promotion in the retraining loop is not gated on score alone — "Beyond
+the Single-Best Model" argues that *what a model learned* should stay
+stable unless the data says otherwise.  The measurable proxy this module
+provides: recompute the candidate committee's ALE curves on the exact
+grids the incumbent's :class:`~repro.core.feedback.FeedbackReport`
+stored, average them across the committee, and report — per feature —
+the largest absolute deviation from the incumbent's stored mean curve.
+
+Because both curve families live on the same bin edges and both are
+centered ALE values in probability units, the deviation is directly
+interpretable: a drift of 0.2 on feature ``link_rate`` means the
+candidate's learned effect of link rate differs from the incumbent's by
+up to 20 probability points somewhere in the domain.  A retrain that
+merely sharpened the boundary drifts little; one that flipped what a
+feature *means* drifts a lot — and should not ship silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .ale import ale_curves_for_features
+from .feedback import FeedbackReport
+
+__all__ = ["AleDriftReport", "ale_drift"]
+
+
+@dataclass(frozen=True)
+class AleDriftReport:
+    """Per-feature ALE drift of a candidate committee vs a stored report.
+
+    ``drift[i]`` is the maximum absolute difference (over grid bins and
+    classes) between the candidate committee's mean ALE curve and the
+    incumbent report's stored mean curve for feature ``feature_names[i]``.
+    """
+
+    feature_names: tuple[str, ...]
+    drift: np.ndarray  # (n_features,)
+
+    @property
+    def max_drift(self) -> float:
+        """The worst per-feature drift — what a promotion gate bounds."""
+        return float(self.drift.max()) if self.drift.size else 0.0
+
+    def by_feature(self) -> dict[str, float]:
+        """Feature name → drift, for logs and gate metadata."""
+        return {name: float(value) for name, value in zip(self.feature_names, self.drift)}
+
+    def summary(self) -> str:
+        parts = ", ".join(f"{name}={value:.4f}" for name, value in self.by_feature().items())
+        return f"ALE drift (max {self.max_drift:.4f}): {parts}"
+
+
+def ale_drift(
+    committee,
+    X,
+    report: FeedbackReport,
+    *,
+    max_batch_rows: int | None = None,
+) -> AleDriftReport:
+    """Measure how far a candidate committee's ALE curves drifted.
+
+    Parameters
+    ----------
+    committee:
+        Fitted models with ``predict_proba`` — typically
+        :func:`~repro.core.feedback.within_ale_committee` of the retrain
+        candidate.
+    X:
+        The dataset the curves are anchored to (the candidate's augmented
+        training set, or a buffer of mirrored live traffic).
+    report:
+        The incumbent's stored :class:`FeedbackReport`; its profiles
+        supply the bin edges, so both curve families share one grid by
+        construction.
+    max_batch_rows:
+        Forwarded to :func:`~repro.core.ale.ale_curves_for_features`.
+
+    Returns an :class:`AleDriftReport`.  Raises
+    :class:`~repro.exceptions.ValidationError` on shape mismatches (a
+    candidate trained on different classes is not comparable).
+    """
+    committee = list(committee)
+    if not committee:
+        raise ValidationError("ALE drift needs at least one candidate committee member")
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValidationError("X must be 2-dimensional")
+    if X.shape[0] == 0:
+        raise ValidationError("X has no samples; ALE drift needs a non-empty dataset")
+    if not report.profiles:
+        raise ValidationError("the incumbent report has no profiles to compare against")
+    for profile in report.profiles:
+        if not 0 <= profile.feature_index < X.shape[1]:
+            raise ValidationError(
+                f"report profiles feature {profile.feature_index}, but X has {X.shape[1]} features"
+            )
+
+    indices = [profile.feature_index for profile in report.profiles]
+    edges = [profile.edges for profile in report.profiles]
+    names = [profile.domain.name for profile in report.profiles]
+    per_member = [
+        ale_curves_for_features(
+            member, X, indices, edges, feature_names=names, max_batch_rows=max_batch_rows
+        )
+        for member in committee
+    ]
+
+    drift = np.zeros(len(indices))
+    for position, profile in enumerate(report.profiles):
+        candidate_mean = np.stack(
+            [curves[position].values for curves in per_member]
+        ).mean(axis=0)
+        if candidate_mean.shape != profile.mean_curve.shape:
+            raise ValidationError(
+                f"feature {profile.domain.name!r}: candidate curve shape "
+                f"{candidate_mean.shape} != incumbent {profile.mean_curve.shape} "
+                "(class sets must match for drift to be comparable)"
+            )
+        drift[position] = np.abs(candidate_mean - profile.mean_curve).max()
+    return AleDriftReport(feature_names=tuple(names), drift=drift)

@@ -1,0 +1,53 @@
+"""Online retraining loop: drift-triggered refits behind a promotion gate.
+
+The paper's Section-4 proposal closes the loop the serving layer opened:
+uncertain points flow to an operator, labels flow back, and the model
+retrains — *without* a human eyeballing every candidate before it ships.
+This package is that controller, in five pieces:
+
+- :mod:`~repro.loop.config` — :class:`LoopConfig`, every trigger and
+  gate threshold in one frozen dataclass;
+- :mod:`~repro.loop.controller` — :class:`RetrainController`: decides
+  *when* to retrain (labeling-queue depth, uncertain-region hit rate
+  read from the serving metrics), folds drained labels into the training
+  set (:func:`repro.active.merge_labeled`), and runs the refit as a
+  deterministic :class:`~repro.runtime.TaskRuntime` task under a fixed
+  seed path — so a re-triggered retrain over identical inputs is a pure
+  cache hit;
+- :mod:`~repro.loop.shadow` — :class:`ShadowEvaluator`: the candidate
+  shadows live traffic through the engine's
+  :class:`~repro.serve.ShadowMirror` (served bytes untouched), and its
+  Within-ALE curves are compared against the incumbent's stored report
+  (:func:`repro.core.ale_drift`);
+- :mod:`~repro.loop.gate` — :class:`PromotionGate`: candidate score vs
+  incumbent *and* bounded ALE drift must both pass before the registry
+  promotes; a failing candidate is still registered (unpromoted) for the
+  audit trail;
+- :mod:`~repro.loop.service` — :class:`LoopService`: the idle/shadowing
+  state machine gluing the above to a live
+  :class:`~repro.serve.ServeService`, with post-promotion regression
+  rollback.
+
+``python -m repro loop`` runs the self-contained demo in
+:mod:`~repro.loop.demo`.
+"""
+
+from .config import LoopConfig
+from .controller import RetrainController, RetrainResult
+from .demo import demo_oracle, run_demo
+from .gate import GateDecision, PromotionGate
+from .service import LoopService
+from .shadow import ShadowEvaluator, ShadowReport
+
+__all__ = [
+    "LoopConfig",
+    "RetrainController",
+    "RetrainResult",
+    "ShadowEvaluator",
+    "ShadowReport",
+    "PromotionGate",
+    "GateDecision",
+    "LoopService",
+    "run_demo",
+    "demo_oracle",
+]

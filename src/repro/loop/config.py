@@ -1,0 +1,91 @@
+"""Every retraining-loop threshold in one validated, frozen dataclass.
+
+The loop has three kinds of knobs — *when to retrain* (trigger), *how to
+shadow* (mirroring), and *what may ship* (gate) — and burying them as
+keyword arguments across four classes makes an operator's policy
+unreadable.  :class:`LoopConfig` is the whole policy as data: frozen (a
+running loop's policy never mutates mid-flight) and validated eagerly,
+so a nonsensical threshold fails at construction, not three ticks later.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..exceptions import ValidationError
+
+__all__ = ["LoopConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LoopConfig:
+    """Trigger, shadow, and gate thresholds for one retraining loop.
+
+    Trigger (either fires a retrain; the queue must be non-empty):
+
+    - ``min_queue_depth`` — labeling-queue backlog that forces a retrain;
+    - ``min_served_points`` / ``uncertain_rate`` — alternatively, once at
+      least ``min_served_points`` have been served, retrain when the
+      fraction flagged uncertain reaches ``uncertain_rate``.
+
+    Shadow:
+
+    - ``shadow_fraction`` — fraction of served batches mirrored to the
+      candidate (deterministic error-accumulator selection);
+    - ``shadow_max_rows`` — bound on the mirrored-row buffer;
+    - ``min_shadow_rows`` — mirrored rows required before the gate runs.
+
+    Gate:
+
+    - ``score_margin`` — candidate holdout score must be at least
+      ``incumbent + score_margin`` (negative values tolerate small
+      regressions);
+    - ``max_ale_drift`` — bound on the candidate committee's Within-ALE
+      deviation from the incumbent's stored report, in probability units;
+    - ``min_agreement`` — optional floor on shadow label agreement with
+      the incumbent (``None`` disables the check);
+    - ``rollback_margin`` — post-promotion: observed accuracy on labeled
+      ground truth this far below the gate-time candidate score rolls
+      the promotion back.
+
+    ``retrain_seed`` roots the retrain task's fixed seed path: with the
+    seed and queue contents held constant, a re-triggered retrain is a
+    cache hit.
+    """
+
+    min_queue_depth: int = 32
+    min_served_points: int = 64
+    uncertain_rate: float = 0.5
+    shadow_fraction: float = 0.25
+    shadow_max_rows: int = 4096
+    min_shadow_rows: int = 64
+    score_margin: float = 0.0
+    max_ale_drift: float = 0.5
+    min_agreement: float | None = None
+    rollback_margin: float = 0.05
+    retrain_seed: int = 0
+
+    def __post_init__(self):
+        if self.min_queue_depth < 1:
+            raise ValidationError(f"min_queue_depth must be >= 1, got {self.min_queue_depth}")
+        if self.min_served_points < 1:
+            raise ValidationError(f"min_served_points must be >= 1, got {self.min_served_points}")
+        if not 0.0 < self.uncertain_rate <= 1.0:
+            raise ValidationError(f"uncertain_rate must be in (0, 1], got {self.uncertain_rate}")
+        if not 0.0 < self.shadow_fraction <= 1.0:
+            raise ValidationError(f"shadow_fraction must be in (0, 1], got {self.shadow_fraction}")
+        if self.shadow_max_rows < 1:
+            raise ValidationError(f"shadow_max_rows must be >= 1, got {self.shadow_max_rows}")
+        if not 1 <= self.min_shadow_rows <= self.shadow_max_rows:
+            raise ValidationError(
+                f"min_shadow_rows must be in [1, shadow_max_rows={self.shadow_max_rows}], "
+                f"got {self.min_shadow_rows}"
+            )
+        if self.max_ale_drift < 0:
+            raise ValidationError(f"max_ale_drift must be >= 0, got {self.max_ale_drift}")
+        if self.min_agreement is not None and not 0.0 <= self.min_agreement <= 1.0:
+            raise ValidationError(f"min_agreement must be in [0, 1], got {self.min_agreement}")
+        if self.rollback_margin < 0:
+            raise ValidationError(f"rollback_margin must be >= 0, got {self.rollback_margin}")
+        if self.retrain_seed < 0:
+            raise ValidationError(f"retrain_seed must be >= 0, got {self.retrain_seed}")

@@ -1,0 +1,145 @@
+"""The promotion gate: what a candidate must prove before it serves.
+
+Two checks, both mandatory:
+
+- **score** — the candidate's holdout accuracy must reach the
+  incumbent's plus ``score_margin`` (identical holdout, identical
+  metric: the comparison the retrain task already paid for);
+- **ALE drift** — the candidate committee's Within-ALE curves may not
+  deviate from the incumbent's stored report by more than
+  ``max_ale_drift`` anywhere.  This is the paper's interpretability
+  artifact doing *deployment* work: a refit that silently flipped what a
+  feature means is rejected even when its aggregate score looks fine.
+
+An optional third check bounds shadow label agreement.  Every candidate
+is registered either way — a rejected one lands in the registry
+*unpromoted*, with the gate's verdict in its manifest metadata, so the
+audit trail of what almost shipped is never lost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from ..serve import MetricsRegistry, ModelRegistry
+from .config import LoopConfig
+from .shadow import ShadowReport
+
+__all__ = ["PromotionGate", "GateDecision"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GateDecision:
+    """One candidate's verdict, as recorded in the registry metadata."""
+
+    promoted: bool
+    version: int
+    reasons: tuple[str, ...]  # empty when promoted
+    candidate_score: float
+    incumbent_score: float
+    max_drift: float
+    agreement: float | None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "promoted": self.promoted,
+            "version": self.version,
+            "reasons": list(self.reasons),
+            "candidate_score": self.candidate_score,
+            "incumbent_score": self.incumbent_score,
+            "max_drift": self.max_drift,
+            "agreement": self.agreement,
+        }
+
+
+class PromotionGate:
+    """Register a candidate and promote it only when every check passes."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: LoopConfig | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.registry = registry
+        self.config = config if config is not None else LoopConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        for name in ("loop_promotions", "loop_gate_fail_score", "loop_gate_fail_drift", "loop_gate_fail_agreement"):
+            self.metrics.counter(name)
+
+    def decide(
+        self, *, candidate_score: float, incumbent_score: float, shadow: ShadowReport
+    ) -> tuple[str, ...]:
+        """Run the checks; returns failure reasons (empty = promote)."""
+        cfg = self.config
+        reasons: list[str] = []
+        required = incumbent_score + cfg.score_margin
+        if candidate_score < required:
+            reasons.append(
+                f"score {candidate_score:.4f} < incumbent {incumbent_score:.4f} "
+                f"+ margin {cfg.score_margin:+.4f}"
+            )
+            self.metrics.counter("loop_gate_fail_score").inc()
+        if shadow.drift.max_drift > cfg.max_ale_drift:
+            reasons.append(
+                f"ALE drift {shadow.drift.max_drift:.4f} > bound {cfg.max_ale_drift:.4f}"
+            )
+            self.metrics.counter("loop_gate_fail_drift").inc()
+        if (
+            cfg.min_agreement is not None
+            and shadow.agreement is not None
+            and shadow.agreement < cfg.min_agreement
+        ):
+            reasons.append(
+                f"shadow agreement {shadow.agreement:.4f} < floor {cfg.min_agreement:.4f}"
+            )
+            self.metrics.counter("loop_gate_fail_agreement").inc()
+        return tuple(reasons)
+
+    def apply(
+        self,
+        name: str,
+        candidate,
+        X_anchor,
+        domains,
+        *,
+        candidate_score: float,
+        incumbent_score: float,
+        shadow: ShadowReport,
+    ) -> GateDecision:
+        """Decide, register (always), and promote (only on pass).
+
+        ``X_anchor`` and ``domains`` feed the registry's feedback
+        analysis — a promoted candidate's *own* report becomes the next
+        incumbent artifact, so the loop's interpretability baseline
+        advances with the model.
+        """
+        reasons = self.decide(
+            candidate_score=candidate_score, incumbent_score=incumbent_score, shadow=shadow
+        )
+        promoted = not reasons
+        metadata = {
+            "loop": {
+                "promoted": promoted,
+                "reasons": list(reasons),
+                "candidate_score": candidate_score,
+                "incumbent_score": incumbent_score,
+                "shadow": shadow.to_json(),
+            }
+        }
+        version = self.registry.register(
+            name, candidate, X_anchor, domains, metadata=metadata, promote=promoted
+        )
+        if promoted:
+            self.metrics.counter("loop_promotions").inc()
+        return GateDecision(
+            promoted=promoted,
+            version=version,
+            reasons=reasons,
+            candidate_score=candidate_score,
+            incumbent_score=incumbent_score,
+            max_drift=shadow.drift.max_drift,
+            agreement=shadow.agreement,
+        )

@@ -1,0 +1,219 @@
+"""The loop's state machine: idle → shadowing → (promote | reject) → idle.
+
+:class:`LoopService` glues one live :class:`~repro.serve.ServeService`
+to a :class:`~repro.loop.controller.RetrainController`, a
+:class:`~repro.loop.shadow.ShadowEvaluator`, and a
+:class:`~repro.loop.gate.PromotionGate`.  Each :meth:`tick` advances the
+machine one step; driving ticks is the caller's job (a request loop, a
+scheduler, the demo), so the loop itself owns no threads and no clock —
+a traffic trace plus a tick schedule replays to the same decisions.
+
+States:
+
+- ``idle`` — watch the serving counters; on trigger, drain the labeling
+  queue, label the points through the oracle, retrain (cache-addressed),
+  and attach the candidate as a shadow;
+- ``shadowing`` — wait for enough mirrored rows, then detach, run the
+  gate, and either promote (hot-swapping the running service to the new
+  version) or reject (candidate stays registered, unpromoted).
+
+After a promotion, :meth:`observe_labeled` is the rollback path: feed it
+operator-labeled ground truth, and a regression beyond
+``rollback_margin`` flips the registry back and re-swaps the incumbent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..serve import ServeService
+from .config import LoopConfig
+from .controller import RetrainController
+from .gate import GateDecision, PromotionGate
+from .shadow import ShadowEvaluator
+
+__all__ = ["LoopService"]
+
+_COUNTERS = (
+    "loop_ticks",
+    "loop_triggers",
+    "loop_retrains",
+    "loop_promotions",
+    "loop_rejections",
+    "loop_rollbacks",
+)
+
+
+class LoopService:
+    """Online retraining controller over one live serving service.
+
+    Parameters
+    ----------
+    serve:
+        A :class:`~repro.serve.ServeService` built via ``from_registry``
+        (the loop needs the registry to promote into).
+    controller:
+        The retrain policy and refit runner.
+    oracle:
+        ``X -> y``: labels drained queue points (emulator, measurement,
+        or human stand-in).
+    config:
+        Defaults to the controller's config.
+    """
+
+    def __init__(
+        self,
+        serve: ServeService,
+        controller: RetrainController,
+        *,
+        oracle: Callable,
+        config: LoopConfig | None = None,
+    ):
+        if serve.registry is None:
+            raise ValidationError(
+                "LoopService needs a registry-backed service; build it with ServeService.from_registry()"
+            )
+        self.serve = serve
+        self.registry = serve.registry
+        self.controller = controller
+        self.oracle = oracle
+        self.config = config if config is not None else controller.config
+        self.name = serve.bundle.name
+        self.gate = PromotionGate(self.registry, self.config, metrics=serve.metrics_registry)
+        self.state = "idle"
+        self.last_decision: GateDecision | None = None
+        self._evaluator: ShadowEvaluator | None = None
+        self._pending = None  # RetrainResult being shadow-evaluated
+        self._promoted_score: float | None = None
+        for name in _COUNTERS:
+            serve.metrics_registry.counter(name)
+
+    # -- the state machine -------------------------------------------------
+
+    def tick(self) -> dict[str, Any]:
+        """Advance one step; returns what happened (JSON-shaped)."""
+        # Settle in-flight batches first: a caller that just got its reply
+        # may still race the batcher's post-reply mirroring, and the tick's
+        # decisions (trigger thresholds, shadow readiness) must be a pure
+        # function of *completed* traffic to stay deterministic.
+        self.serve.quiesce(timeout=5.0)
+        self.serve.metrics_registry.counter("loop_ticks").inc()
+        if self.state == "idle":
+            return self._tick_idle()
+        return self._tick_shadowing()
+
+    def _tick_idle(self) -> dict[str, Any]:
+        metrics = self.serve.metrics_registry
+        queue = self.serve.engine.monitor.queue
+        reason = self.controller.should_trigger(
+            queue_depth=len(queue),
+            served_points=metrics.counter("points").value,
+            uncertain_points=metrics.counter("uncertain_points").value,
+        )
+        if reason is None:
+            return {"state": self.state, "action": "none"}
+        metrics.counter("loop_triggers").inc()
+        entries = queue.drain()
+        X_new, y_new = self.controller.ingest(entries, self.oracle)
+        result = self.controller.retrain(X_new, y_new)
+        metrics.counter("loop_retrains").inc()
+        self._pending = result
+        self._evaluator = ShadowEvaluator(result.model, self.config)
+        self._evaluator.attach(self.serve.engine)
+        self.state = "shadowing"
+        return {
+            "state": self.state,
+            "action": "retrained",
+            "reason": reason,
+            "drained": len(entries),
+            "n_added": result.n_added,
+            "candidate_score": result.score,
+            "refits": result.refits,
+        }
+
+    def _tick_shadowing(self) -> dict[str, Any]:
+        evaluator = self._evaluator
+        pending = self._pending
+        assert evaluator is not None and pending is not None
+        if not evaluator.ready():
+            return {
+                "state": self.state,
+                "action": "waiting",
+                "shadow": evaluator.mirror.stats(),
+            }
+        evaluator.detach(self.serve.engine)
+        incumbent = self.serve.bundle
+        incumbent_score = self.controller.score(incumbent.automl)
+        shadow_report = evaluator.evaluate(incumbent.report, pending.X)
+        decision = self.gate.apply(
+            self.name,
+            pending.model,
+            pending.X,
+            incumbent.domains,
+            candidate_score=pending.score,
+            incumbent_score=incumbent_score,
+            shadow=shadow_report,
+        )
+        self.last_decision = decision
+        self.state = "idle"
+        self._evaluator = None
+        self._pending = None
+        if decision.promoted:
+            self._promoted_score = decision.candidate_score
+            self.serve.reload()
+        else:
+            self.serve.metrics_registry.counter("loop_rejections").inc()
+        return {
+            "state": self.state,
+            "action": "promoted" if decision.promoted else "rejected",
+            "decision": decision.to_json(),
+            "serving_version": self.serve.version,
+        }
+
+    # -- post-promotion rollback ------------------------------------------
+
+    def observe_labeled(self, X, y) -> dict[str, Any]:
+        """Check promoted-model accuracy on fresh ground truth; roll back on regression.
+
+        Accuracy more than ``rollback_margin`` below the gate-time
+        candidate score flips the registry back to the previous version
+        and re-swaps the running service — the emergency lever for a
+        candidate that gamed its holdout.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        y = np.asarray(y)
+        predictions = np.asarray(self.serve.bundle.automl.predict(X))
+        accuracy = float(np.mean(predictions == y))
+        rolled_back = False
+        if (
+            self._promoted_score is not None
+            and accuracy < self._promoted_score - self.config.rollback_margin
+        ):
+            self.registry.rollback(self.name)
+            self.serve.reload()
+            self.serve.metrics_registry.counter("loop_rollbacks").inc()
+            self._promoted_score = None
+            rolled_back = True
+        return {
+            "accuracy": accuracy,
+            "rolled_back": rolled_back,
+            "serving_version": self.serve.version,
+        }
+
+    # -- introspection -----------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """One JSON-shaped snapshot of the whole loop."""
+        metrics = self.serve.metrics_registry
+        return {
+            "state": self.state,
+            "model": self.name,
+            "serving_version": self.serve.version,
+            "queue": self.serve.engine.monitor.queue.stats(),
+            "shadow": self._evaluator.mirror.stats() if self._evaluator is not None else None,
+            "last_decision": self.last_decision.to_json() if self.last_decision else None,
+            "counters": {name: metrics.counter(name).value for name in _COUNTERS},
+        }

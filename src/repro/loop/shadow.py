@@ -1,0 +1,88 @@
+"""Shadow evaluation: the candidate sees live traffic, users never see it.
+
+A candidate that aced its holdout can still disagree with production
+reality.  The evaluator wraps the serving engine's
+:class:`~repro.serve.ShadowMirror`: a deterministic fraction of served
+batches is replayed through the candidate *after* the real replies were
+delivered, accumulating label agreement with the incumbent.  When enough
+rows have been mirrored, :meth:`ShadowEvaluator.evaluate` adds the
+interpretability check — the candidate committee's Within-ALE curves are
+recomputed on the incumbent's stored grids (:func:`repro.core.ale_drift`)
+and the per-feature deviation is bounded by the gate.
+
+The drift comparison is anchored to the candidate's augmented *training*
+set rather than the mirrored buffer: the training set is a pure function
+of the loop's inputs (so the gate's verdict is replayable), while the
+mirrored rows depend on traffic timing and serve as agreement evidence
+only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core import AleDriftReport, ale_drift
+from ..core.feedback import FeedbackReport, within_ale_committee
+from ..serve import InferenceEngine, ShadowMirror
+from .config import LoopConfig
+
+__all__ = ["ShadowEvaluator", "ShadowReport"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShadowReport:
+    """What shadowing learned about one candidate."""
+
+    mirrored_rows: int
+    agreement: float | None  # fraction of mirrored rows where labels matched
+    errors: int  # candidate prediction failures during mirroring
+    drift: AleDriftReport
+
+    def to_json(self) -> dict:
+        return {
+            "mirrored_rows": self.mirrored_rows,
+            "agreement": self.agreement,
+            "errors": self.errors,
+            "max_ale_drift": self.drift.max_drift,
+            "ale_drift": self.drift.by_feature(),
+        }
+
+
+class ShadowEvaluator:
+    """One candidate's shadow deployment against a live engine."""
+
+    def __init__(self, candidate, config: LoopConfig | None = None):
+        self.candidate = candidate
+        self.config = config if config is not None else LoopConfig()
+        self.mirror = ShadowMirror(
+            candidate,
+            fraction=self.config.shadow_fraction,
+            max_rows=self.config.shadow_max_rows,
+        )
+
+    def attach(self, engine: InferenceEngine) -> None:
+        """Start mirroring the engine's traffic to the candidate."""
+        engine.attach_shadow(self.mirror)
+
+    def detach(self, engine: InferenceEngine) -> None:
+        """Stop mirroring (the accumulated stats stay on the mirror)."""
+        engine.detach_shadow()
+
+    def ready(self) -> bool:
+        """Have enough rows been mirrored for the gate to run?"""
+        return self.mirror.stats()["mirrored_rows"] >= self.config.min_shadow_rows
+
+    def evaluate(self, incumbent_report: FeedbackReport, X_anchor) -> ShadowReport:
+        """Summarize shadowing plus ALE drift against the incumbent report.
+
+        ``X_anchor`` is the dataset the drift curves integrate over —
+        the candidate's augmented training set (see module docstring).
+        """
+        drift = ale_drift(within_ale_committee(self.candidate), X_anchor, incumbent_report)
+        stats = self.mirror.stats()
+        return ShadowReport(
+            mirrored_rows=stats["mirrored_rows"],
+            agreement=stats["agreement"],
+            errors=stats["errors"],
+            drift=drift,
+        )

@@ -259,6 +259,18 @@ class ArtifactCache:
 
     # -- maintenance -------------------------------------------------------
 
+    def keys(self) -> list[str]:
+        """The content-address keys of every entry on disk, sorted."""
+        return [path.stem for path in self._entries()]
+
+    def remove(self, key: str) -> bool:
+        """Delete one entry by key; returns whether a file was removed."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except OSError:
+            return False
+
     def info(self) -> dict[str, Any]:
         """Entry count and total bytes on disk (plus session counters)."""
         entries = list(self._entries())

@@ -23,11 +23,13 @@ from __future__ import annotations
 import time
 from typing import Any, Mapping
 
+import numpy as np
+
 from ..core.ale import ale_curves_for_models
 from ..exceptions import ValidationError
 from .task import TaskContext, task
 
-__all__ = ["automl_fit", "ale_profile"]
+__all__ = ["automl_fit", "ale_profile", "loop_retrain"]
 
 
 @task("automl.fit")
@@ -73,6 +75,31 @@ def ale_profile(payload: Mapping[str, Any], ctx: TaskContext) -> Any:
         payload["edges"],
         feature_name=payload["feature_name"],
     )
+
+
+@task("loop.retrain")
+def loop_retrain(payload: Mapping[str, Any], ctx: TaskContext) -> Any:
+    """Refit on an augmented training set and score the result.
+
+    The retraining loop's one expensive step, shaped for the cache: the
+    payload carries the *merged* training set (base data plus drained
+    labels, merged deterministically upstream), an evaluation holdout,
+    and a picklable ``factory``.  Because the loop submits this under a
+    fixed seed path, the cache key varies only with the payload — a
+    re-triggered retrain over identical queue contents is a pure cache
+    hit, and the returned model is bitwise-identical.
+
+    Returns ``{"model": fitted, "score": float}`` where ``score`` is
+    mean accuracy on the holdout (the incumbent is scored on the same
+    holdout by the promotion gate, so the comparison is apples-to-apples).
+    """
+    if ctx.rng is None:
+        raise ValidationError("loop.retrain needs a seed path (AutoML search is stochastic)")
+    factory = payload["factory"]
+    fitted = factory(ctx.rng).fit(payload["X"], payload["y"])
+    predictions = np.asarray(fitted.predict(payload["X_eval"]))
+    score = float(np.mean(predictions == np.asarray(payload["y_eval"])))
+    return {"model": fitted, "score": score}
 
 
 # -- probes (diagnostics & fault injection) --------------------------------

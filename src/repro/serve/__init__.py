@@ -24,7 +24,7 @@ package on the CLI.
 """
 
 from .client import HttpClient, InProcessClient
-from .engine import InferenceEngine, Prediction, ServeConfig
+from .engine import InferenceEngine, Prediction, ServeConfig, ShadowMirror
 from .http import ServeHTTPServer, serve_http
 from .metrics import Counter, Histogram, MetricsRegistry
 from .monitor import LabelingQueue, UncertaintyMonitor, committee_disagreement
@@ -38,6 +38,7 @@ __all__ = [
     "ServeConfig",
     "InferenceEngine",
     "Prediction",
+    "ShadowMirror",
     "UncertaintyMonitor",
     "LabelingQueue",
     "committee_disagreement",

@@ -22,6 +22,16 @@ path as offline ``AutoML.predict`` — batching changes *when* rows are
 evaluated, never *what* is computed for them.  The engine reads the
 clock only through :mod:`repro.runtime.clock` (deadlines and latency
 metrics — budget logic, per RL004), and draws no randomness at all.
+
+Shadow mirroring: a :class:`ShadowMirror` attached via
+:meth:`InferenceEngine.attach_shadow` replays a deterministic fraction
+of served batches through a *candidate* model — after the real replies
+have already been delivered, so mirroring can never change served bytes
+or add to served latency beyond sharing the batcher thread.  Batch
+selection uses an error-accumulator (``fraction`` added per batch, fire
+on overflow), not randomness, so a traffic trace mirrors identically on
+every run.  The mirror is how the retraining loop's shadow evaluation
+(:mod:`repro.loop`) sees live traffic.
 """
 
 from __future__ import annotations
@@ -39,7 +49,7 @@ from .metrics import MetricsRegistry
 from .monitor import UncertaintyMonitor
 from .registry import ModelBundle
 
-__all__ = ["ServeConfig", "InferenceEngine", "Prediction"]
+__all__ = ["ServeConfig", "InferenceEngine", "Prediction", "ShadowMirror"]
 
 #: Queue sentinel that tells the batcher thread to exit.
 _SHUTDOWN = object()
@@ -52,6 +62,9 @@ class ServeConfig:
     ``max_batch`` and ``max_delay`` trade latency for throughput:
     a flush happens at whichever comes first.  ``queue_bound`` is the
     backpressure line — requests beyond it are shed, not buffered.
+    ``labeling_snapshot`` (a file path) makes the labeling queue durable:
+    offered/drained entries are journaled to an append-only JSONL so a
+    restart restores pending labels.
     """
 
     max_batch: int = 32
@@ -60,6 +73,7 @@ class ServeConfig:
     request_timeout: float = 10.0
     disagreement_threshold: float | None = None
     labeling_queue_capacity: int = 1024
+    labeling_snapshot: str | None = None
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -92,6 +106,92 @@ class Prediction:
         }
 
 
+class ShadowMirror:
+    """Deterministic candidate-traffic mirror for shadow evaluation.
+
+    Attached to an :class:`InferenceEngine`, the mirror replays a
+    configurable ``fraction`` of served batches through a candidate
+    model.  Selection is an error-accumulator — ``fraction`` is added
+    per batch and a batch mirrors when the accumulator overflows 1 — so
+    the mirrored subset is an exact, reproducible function of batch
+    order, with no randomness (RL001) and no clock.  Mirrored rows are
+    buffered (bounded by ``max_rows``) so the promotion gate can
+    recompute ALE curves on *actual* traffic, and per-row label
+    agreement with the served model is tallied as it goes.
+
+    Candidate predictions are computed after the served replies are
+    delivered and are never returned to any caller: a mirror can slow
+    the batcher (that cost is bounded by ``fraction``), but it cannot
+    change a single served byte.
+    """
+
+    def __init__(self, automl: Any, *, fraction: float = 0.25, max_rows: int = 4096):
+        if not 0.0 < fraction <= 1.0:
+            raise ValidationError(f"shadow fraction must be in (0, 1], got {fraction}")
+        if max_rows < 1:
+            raise ValidationError(f"max_rows must be >= 1, got {max_rows}")
+        self.automl = automl
+        self.fraction = float(fraction)
+        self.max_rows = int(max_rows)
+        self._lock = threading.Lock()
+        self._accumulator = 0.0
+        self._buffer: list[np.ndarray] = []
+        self._buffered = 0
+        self.mirrored_batches = 0
+        self.mirrored_rows = 0
+        self.matches = 0
+        self.errors = 0
+
+    def take(self) -> bool:
+        """Deterministically decide whether the next batch mirrors."""
+        with self._lock:
+            self._accumulator += self.fraction
+            if self._accumulator >= 1.0 - 1e-12:
+                self._accumulator -= 1.0
+                return True
+            return False
+
+    def observe(self, X: np.ndarray, served_labels) -> int | None:
+        """Mirror one batch; returns the agreement count (``None`` on error)."""
+        try:
+            candidate_labels = self.automl.predict(X)
+        except Exception:
+            with self._lock:
+                self.errors += 1
+            return None
+        matches = int(np.sum(np.asarray(candidate_labels) == np.asarray(served_labels)))
+        with self._lock:
+            self.mirrored_batches += 1
+            self.mirrored_rows += int(X.shape[0])
+            self.matches += matches
+            room = self.max_rows - self._buffered
+            if room > 0:
+                kept = np.array(X[:room], dtype=np.float64)
+                self._buffer.append(kept)
+                self._buffered += kept.shape[0]
+        return matches
+
+    def rows(self) -> np.ndarray:
+        """The buffered mirrored traffic, ``(n, n_features)`` (may be empty)."""
+        with self._lock:
+            if not self._buffer:
+                return np.empty((0, 0))
+            return np.concatenate(self._buffer, axis=0)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            agreement = self.matches / self.mirrored_rows if self.mirrored_rows else None
+            return {
+                "fraction": self.fraction,
+                "mirrored_batches": self.mirrored_batches,
+                "mirrored_rows": self.mirrored_rows,
+                "matches": self.matches,
+                "agreement": agreement,
+                "buffered_rows": self._buffered,
+                "errors": self.errors,
+            }
+
+
 class _PendingRequest:
     """A submitted batch of rows waiting for its reply."""
 
@@ -122,12 +222,30 @@ class InferenceEngine:
             bundle.report,
             disagreement_threshold=self.config.disagreement_threshold,
             queue_capacity=self.config.labeling_queue_capacity,
+            snapshot_path=self.config.labeling_snapshot,
         )
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_bound)
         self._closed = threading.Event()
         self._drain_shutdown = False  # batcher-thread-only: sentinel seen mid-batch
+        self._shadow: ShadowMirror | None = None
+        # Accepted requests whose batch (including its post-reply shadow
+        # work) has not finished yet; quiesce() waits on this.
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
         # Pre-create every instrument so /metrics shows zeros, not holes.
-        for name in ("requests", "points", "shed", "timeouts", "errors", "uncertain_points", "batches"):
+        for name in (
+            "requests",
+            "points",
+            "shed",
+            "timeouts",
+            "errors",
+            "uncertain_points",
+            "batches",
+            "shadow_batches",
+            "shadow_rows",
+            "shadow_mismatches",
+            "shadow_errors",
+        ):
             self.metrics.counter(name)
         for name in ("batch_size", "queue_depth", "latency_seconds"):
             self.metrics.histogram(name)
@@ -150,9 +268,14 @@ class InferenceEngine:
         if not np.isfinite(X).all():
             raise ValidationError("request contains NaN or infinite values")
         pending = _PendingRequest(X, Stopwatch())
+        with self._inflight_cond:
+            self._inflight += 1  # before the put: the batcher may drain it instantly
         try:
             self._queue.put_nowait(pending)
         except queue.Full:
+            with self._inflight_cond:
+                self._inflight -= 1
+                self._inflight_cond.notify_all()
             self.metrics.counter("shed").inc()
             raise BackpressureError(
                 f"inference queue is full ({self.config.queue_bound} pending requests); retry later"
@@ -204,7 +327,12 @@ class InferenceEngine:
             if item is _SHUTDOWN:
                 return
             batch = self._collect_batch(item)
-            self._process(batch)
+            try:
+                self._process(batch)
+            finally:
+                with self._inflight_cond:
+                    self._inflight -= len(batch)
+                    self._inflight_cond.notify_all()
 
     def _process(self, batch: list[_PendingRequest]) -> None:
         X = np.concatenate([pending.X for pending in batch], axis=0)
@@ -233,6 +361,48 @@ class InferenceEngine:
             )
             self.metrics.histogram("latency_seconds").observe(pending.stopwatch.elapsed())
             pending.event.set()
+        # Mirroring runs strictly after every reply above was delivered:
+        # the candidate sees the batch, callers never see the candidate.
+        shadow = self._shadow
+        if shadow is not None and shadow.take():
+            matched = shadow.observe(X, labels)
+            if matched is None:
+                self.metrics.counter("shadow_errors").inc()
+            else:
+                self.metrics.counter("shadow_batches").inc()
+                self.metrics.counter("shadow_rows").inc(X.shape[0])
+                self.metrics.counter("shadow_mismatches").inc(X.shape[0] - matched)
+
+    # -- shadow evaluation -------------------------------------------------
+
+    def attach_shadow(self, mirror: ShadowMirror) -> None:
+        """Start mirroring a fraction of traffic to ``mirror``'s candidate."""
+        self._shadow = mirror
+
+    def detach_shadow(self) -> ShadowMirror | None:
+        """Stop mirroring; returns the mirror (with its accumulated stats)."""
+        mirror, self._shadow = self._shadow, None
+        return mirror
+
+    def quiesce(self, timeout: float | None = None) -> bool:
+        """Wait until every accepted request has been fully processed.
+
+        "Fully" includes the post-reply shadow work: a caller that saw
+        its reply may still race the batcher's mirroring of that batch,
+        so anything that reads mirror or shadow-counter state (the
+        retraining loop's tick does) must quiesce first to be
+        deterministic with respect to completed traffic.  Returns False
+        on timeout instead of raising — staleness is tolerable, a
+        wedged caller is not.
+        """
+        deadline = Deadline(timeout)
+        with self._inflight_cond:
+            while self._inflight:
+                remaining = deadline.remaining()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._inflight_cond.wait(remaining)
+        return True
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -22,6 +22,8 @@ an operator drains the queue, labels the points, and retrains.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 from collections import deque
 from typing import Any
@@ -55,16 +57,65 @@ class LabelingQueue:
     counted) rather than evicting older entries: the queue represents an
     operator's backlog, and silently rotating it would hide how far
     behind labeling has fallen.
+
+    With ``snapshot_path`` set the queue is durable: every offer and
+    drain is journaled to an append-only JSONL file, and a fresh queue
+    pointed at the same path replays the journal to restore its pending
+    backlog.  Journal writes are best-effort — a full disk degrades the
+    queue to in-memory, it never fails serving.
     """
 
-    def __init__(self, capacity: int = 1024):
+    def __init__(self, capacity: int = 1024, *, snapshot_path: str | None = None):
         if capacity < 1:
             raise ValidationError(f"labeling queue capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.snapshot_path = snapshot_path
         self._lock = threading.Lock()
         self._entries: deque = deque()
         self._enqueued = 0
         self._dropped = 0
+        self._persisted = 0
+        if snapshot_path is not None:
+            self._restore(snapshot_path)
+
+    def _restore(self, path: str) -> None:
+        """Replay the journal; torn or corrupt lines are skipped, not fatal."""
+        try:
+            with open(path, encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn final line from a crash mid-write
+            op = record.get("op")
+            if op == "offer" and isinstance(record.get("entry"), dict):
+                if len(self._entries) < self.capacity:
+                    self._entries.append(record["entry"])
+            elif op == "drain":
+                count = record.get("count")
+                if isinstance(count, int) and count > 0:
+                    for _ in range(min(count, len(self._entries))):
+                        self._entries.popleft()
+
+    def _append(self, record: dict[str, Any]) -> None:
+        """Best-effort journal write; caller holds the lock."""
+        if self.snapshot_path is None:
+            return
+        try:
+            directory = os.path.dirname(self.snapshot_path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with open(self.snapshot_path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._persisted += 1
+        except OSError:
+            pass  # disk trouble must never take down serving
 
     def offer(self, entry: dict[str, Any]) -> bool:
         """Enqueue one candidate; returns False (and counts a drop) when full."""
@@ -74,13 +125,17 @@ class LabelingQueue:
                 return False
             self._entries.append(entry)
             self._enqueued += 1
+            self._append({"op": "offer", "entry": entry})
             return True
 
     def drain(self, limit: int | None = None) -> list[dict[str, Any]]:
         """Remove and return up to ``limit`` oldest entries (all by default)."""
         with self._lock:
             take = len(self._entries) if limit is None else max(0, min(limit, len(self._entries)))
-            return [self._entries.popleft() for _ in range(take)]
+            drained = [self._entries.popleft() for _ in range(take)]
+            if drained:
+                self._append({"op": "drain", "count": len(drained)})
+            return drained
 
     def __len__(self) -> int:
         with self._lock:
@@ -93,6 +148,7 @@ class LabelingQueue:
                 "capacity": self.capacity,
                 "enqueued": self._enqueued,
                 "dropped": self._dropped,
+                "persisted": self._persisted,
             }
 
 
@@ -111,6 +167,9 @@ class UncertaintyMonitor:
         much disagreement" coincide unless the operator says otherwise).
     queue_capacity:
         Bound on the labeling queue.
+    snapshot_path:
+        Forwarded to :class:`LabelingQueue` — a JSONL journal path that
+        makes the backlog survive restarts.
     """
 
     def __init__(
@@ -119,12 +178,13 @@ class UncertaintyMonitor:
         *,
         disagreement_threshold: float | None = None,
         queue_capacity: int = 1024,
+        snapshot_path: str | None = None,
     ):
         self.report = report
         self.disagreement_threshold = (
             float(disagreement_threshold) if disagreement_threshold is not None else float(report.threshold)
         )
-        self.queue = LabelingQueue(queue_capacity)
+        self.queue = LabelingQueue(queue_capacity, snapshot_path=snapshot_path)
 
     def evaluate(self, X: np.ndarray, member_stack: np.ndarray) -> dict[str, np.ndarray]:
         """Flag uncertain points in one batch; feed flagged ones to the queue.

@@ -213,9 +213,14 @@ class ModelRegistry:
         manifest = self._read_manifest()
         entry = self._entry(manifest, name)
         if version is None:
-            version = entry["promoted"]
+            version = entry.get("promoted")
             if version is None:
-                raise RegistryError(f"model {name!r} has no promoted version; promote one first")
+                available = sorted(map(int, entry["versions"]))
+                raise RegistryError(
+                    f"model {name!r} has no promoted version; "
+                    f"registered versions: {available} — promote one "
+                    f"(registry.promote({name!r}, v)) or load an explicit version"
+                )
         info = entry["versions"].get(str(version))
         if info is None:
             raise RegistryError(
@@ -268,6 +273,47 @@ class ModelRegistry:
         entry["promoted"] = previous
         self._write_manifest(manifest)
         return int(previous)
+
+    # -- maintenance -------------------------------------------------------
+
+    def gc(self, *, dry_run: bool = False) -> dict[str, int]:
+        """Delete cache entries no manifest version references.
+
+        Retraining churns the artifact cache: every registered candidate
+        — promoted or not — publishes a bundle, and superseded ones stay
+        on disk forever unless collected.  ``gc`` walks the manifest,
+        gathers every referenced key, and removes the rest.  With
+        ``dry_run=True`` nothing is deleted; the counts report what
+        *would* go.  Returns ``{"referenced", "unreferenced", "removed",
+        "bytes_freed"}``.
+        """
+        manifest = self._read_manifest()
+        referenced = {
+            info["key"]
+            for entry in manifest["models"].values()
+            for info in entry["versions"].values()
+        }
+        unreferenced = [key for key in self.cache.keys() if key not in referenced]
+        removed = 0
+        bytes_freed = 0
+        for key in unreferenced:
+            path = self.cache.path_for(key)
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+            if dry_run:
+                bytes_freed += size
+                continue
+            if self.cache.remove(key):
+                removed += 1
+                bytes_freed += size
+        return {
+            "referenced": len(referenced),
+            "unreferenced": len(unreferenced),
+            "removed": removed,
+            "bytes_freed": bytes_freed,
+        }
 
     # -- introspection -----------------------------------------------------
 

@@ -325,3 +325,99 @@ class TestHttpTransport:
             urllib.request.urlopen(request)
         assert excinfo.value.code == 400
         assert json.loads(excinfo.value.read())["type"] == "ValidationError"
+
+
+class TestRegistryGC:
+    def test_gc_removes_only_unreferenced_entries(self, tmp_path, fitted_automl, scream_data):
+        registry = ModelRegistry(tmp_path)
+        registry.register("m", fitted_automl, scream_data.X, scream_data.domains)
+        registry.register("m", fitted_automl, scream_data.X, scream_data.domains,
+                          metadata={"note": "v2"})
+        orphans = [
+            registry.cache.publish({"stale": index}) for index in range(3)
+        ]
+        referenced = set(registry.cache.keys()) - set(orphans)
+
+        # Dry run: counts report, nothing is deleted.
+        report = registry.gc(dry_run=True)
+        assert report["unreferenced"] == 3
+        assert report["removed"] == 0
+        assert report["bytes_freed"] > 0
+        assert set(registry.cache.keys()) == referenced | set(orphans)
+
+        # Real run: orphans go, referenced artifacts stay loadable.
+        report = registry.gc()
+        assert report["removed"] == 3
+        assert set(registry.cache.keys()) == referenced
+        for version in (1, 2):
+            assert registry.load("m", version).name == "m"
+
+    def test_gc_on_clean_registry_is_a_noop(self, tmp_path, fitted_automl, scream_data):
+        registry = ModelRegistry(tmp_path)
+        registry.register("m", fitted_automl, scream_data.X, scream_data.domains)
+        report = registry.gc()
+        assert report == {"referenced": 1, "unreferenced": 0, "removed": 0, "bytes_freed": 0}
+
+
+class TestRegistryLoadErrors:
+    def test_never_promoted_name_lists_available_versions(self, tmp_path, fitted_automl, scream_data):
+        registry = ModelRegistry(tmp_path)
+        registry.register("m", fitted_automl, scream_data.X, scream_data.domains, promote=False)
+        registry.register("m", fitted_automl, scream_data.X, scream_data.domains, promote=False)
+        with pytest.raises(RegistryError) as excinfo:
+            registry.load("m")
+        message = str(excinfo.value)
+        assert "no promoted version" in message
+        assert "[1, 2]" in message  # the available versions, spelled out
+        # Explicit versions still load fine without a promotion.
+        assert registry.load("m", 2).name == "m"
+
+
+class TestLabelingQueueDurability:
+    def test_journal_restores_backlog(self, tmp_path):
+        path = tmp_path / "labels.jsonl"
+        queue = LabelingQueue(8, snapshot_path=str(path))
+        for index in range(5):
+            assert queue.offer({"point": [float(index)], "disagreement": 0.5})
+        drained = queue.drain(2)
+        assert len(drained) == 2
+        stats = queue.stats()
+        assert stats["depth"] == 3
+        assert stats["persisted"] == 6  # 5 offers + 1 drain record
+
+        # A fresh queue on the same journal replays to the same backlog.
+        restored = LabelingQueue(8, snapshot_path=str(path))
+        assert len(restored) == 3
+        assert restored.drain()[0]["point"] == [2.0]
+
+    def test_torn_and_corrupt_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "labels.jsonl"
+        path.write_text(
+            '{"op": "offer", "entry": {"point": [1.0]}}\n'
+            "not json at all\n"
+            '{"op": "offer", "entry": {"point": [2.0]}}\n'
+            '{"op": "offer", "entry"'  # torn final line from a crash
+        )
+        queue = LabelingQueue(8, snapshot_path=str(path))
+        assert len(queue) == 2
+
+    def test_no_snapshot_means_no_persistence(self, tmp_path):
+        queue = LabelingQueue(8)
+        queue.offer({"point": [0.0]})
+        assert queue.stats()["persisted"] == 0
+
+    def test_service_persist_labels_survives_restart(self, registry, scream_data):
+        config = ServeConfig(max_batch=8, max_delay=0.0, disagreement_threshold=0.0)
+        with ServeService.from_registry(
+            "scream", directory=registry.directory, config=config, persist_labels=True
+        ) as service:
+            # Threshold 0 flags everything, so the queue certainly fills.
+            service.predict(scream_data.X[:6].tolist())
+            depth = service.feedback(limit=0)["queue"]["depth"]
+            assert depth > 0
+        journal = registry.directory / "labeling" / "scream.jsonl"
+        assert journal.exists()
+        with ServeService.from_registry(
+            "scream", directory=registry.directory, config=config, persist_labels=True
+        ) as service:
+            assert service.feedback(limit=0)["queue"]["depth"] == depth

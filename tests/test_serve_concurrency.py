@@ -170,3 +170,148 @@ class TestParallelClients:
         assert ok >= 1
         assert engine.metrics.counter("shed").value == shed
         assert engine.metrics.counter("requests").value == ok
+
+
+class TestHotSwapUnderLoad:
+    """Concurrent /predict across promote()/rollback(): whole versions only."""
+
+    def test_swaps_never_tear(self, tmp_path, scream_data):
+        from repro.automl import AutoMLClassifier
+
+        X, y = scream_data.X, scream_data.y
+        # v1 learns the labels, v2 learns their inversion, so a reply pairing
+        # v1's version tag with v2's labels (a torn read) is detectable on
+        # nearly every row.
+        automl_v1 = AutoMLClassifier(
+            n_iterations=4, ensemble_size=3, min_distinct_members=2, random_state=1
+        ).fit(X, y)
+        automl_v2 = AutoMLClassifier(
+            n_iterations=4, ensemble_size=3, min_distinct_members=2, random_state=2
+        ).fit(X, 1 - y)
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.register("swap", automl_v1, X, scream_data.domains)
+        registry.register("swap", automl_v2, X, scream_data.domains, promote=False)
+        service = ServeService.from_registry(
+            "swap",
+            directory=registry.directory,
+            config=ServeConfig(max_batch=8, max_delay=0.002, queue_bound=512, request_timeout=30.0),
+        )
+        offline = {1: automl_v1.predict(X), 2: automl_v2.predict(X)}
+
+        stop = threading.Event()
+        mismatches: list[tuple[int, list, list]] = []
+        errors: list[BaseException] = []
+        served = [0]
+        lock = threading.Lock()
+
+        def traffic(thread_index: int) -> None:
+            index = thread_index
+            while not stop.is_set():
+                start = index % (X.shape[0] - ROWS_PER_REQUEST)
+                index += 7
+                rows = X[start : start + ROWS_PER_REQUEST]
+                try:
+                    response = service.predict(rows)
+                except BackpressureError:
+                    continue
+                except BaseException as error:
+                    with lock:
+                        errors.append(error)
+                    return
+                expected = offline[response["version"]][start : start + ROWS_PER_REQUEST].tolist()
+                with lock:
+                    served[0] += 1
+                    if response["labels"] != expected:
+                        mismatches.append((response["version"], response["labels"], expected))
+
+        threads = [threading.Thread(target=traffic, args=(i,)) for i in range(N_THREADS)]
+        for thread in threads:
+            thread.start()
+        seen_versions = set()
+        try:
+            # Flip the promoted version back and forth under live traffic.
+            for flip in range(6):
+                registry.promote("swap", 2 if flip % 2 == 0 else 1)
+                service.reload()
+                seen_versions.add(service.version)
+                threading.Event().wait(0.05)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(30.0)
+            service.close()
+
+        assert errors == []
+        assert mismatches == []  # every reply was a whole version
+        assert seen_versions == {1, 2}
+        assert served[0] > 0
+
+
+class TestShadowDoesNotChangeServedBytes:
+    def test_mirroring_leaves_responses_bitwise_identical(self, bundle, fitted_automl, scream_data):
+        from repro.serve import ShadowMirror
+
+        X = scream_data.X
+        config = ServeConfig(max_batch=8, max_delay=0.002, queue_bound=512)
+
+        def serve_all(attach_mirror: bool):
+            service = ServeService(bundle, config)
+            mirror = None
+            if attach_mirror:
+                # The candidate disagrees with the incumbent (trained on
+                # inverted labels would be ideal, but *any* model works:
+                # mirrored predictions must never reach a caller).
+                mirror = ShadowMirror(fitted_automl, fraction=1.0, max_rows=256)
+                service.engine.attach_shadow(mirror)
+            responses = {}
+            errors: list[BaseException] = []
+            lock = threading.Lock()
+
+            def worker(thread_index: int) -> None:
+                for request_index in range(REQUESTS_PER_THREAD):
+                    start = (
+                        thread_index * REQUESTS_PER_THREAD + request_index
+                    ) * ROWS_PER_REQUEST % (X.shape[0] - ROWS_PER_REQUEST)
+                    try:
+                        response = service.predict(X[start : start + ROWS_PER_REQUEST])
+                    except BaseException as error:
+                        with lock:
+                            errors.append(error)
+                        return
+                    with lock:
+                        responses[(thread_index, request_index)] = response
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(N_THREADS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60.0)
+            # Close before snapshotting: mirroring runs after replies are
+            # delivered, so the last batch's shadow counters land only once
+            # the batcher thread has drained.
+            service.close()
+            metrics = service.metrics()
+            assert errors == []
+            return responses, metrics, mirror
+
+        plain, plain_metrics, _ = serve_all(attach_mirror=False)
+        shadowed, shadow_metrics, mirror = serve_all(attach_mirror=True)
+
+        # Bitwise-identical served bytes, request by request.
+        assert plain.keys() == shadowed.keys()
+        for key, response in plain.items():
+            assert shadowed[key]["labels"] == response["labels"]
+            np.testing.assert_array_equal(
+                np.asarray(shadowed[key]["proba"]), np.asarray(response["proba"])
+            )
+            assert shadowed[key]["in_uncertain_region"] == response["in_uncertain_region"]
+
+        # The mirror really ran (fraction=1.0 mirrors every batch) ...
+        stats = mirror.stats()
+        assert stats["mirrored_batches"] == shadow_metrics["counters"]["batches"]
+        assert stats["mirrored_rows"] == shadow_metrics["counters"]["points"]
+        assert shadow_metrics["counters"]["shadow_rows"] == stats["mirrored_rows"]
+        assert stats["errors"] == 0
+        # ... and no request was shed or failed because of it.
+        assert shadow_metrics["counters"]["shed"] == plain_metrics["counters"]["shed"] == 0
+        assert shadow_metrics["counters"]["errors"] == 0
