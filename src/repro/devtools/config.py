@@ -51,6 +51,7 @@ DEFAULT_LAYERS: dict[str, list[str] | str] = {
     "serve": ["automl", "core", "featurespace", "ml", "rng", "exceptions", "runtime"],
     "active": ["core", "featurespace", "ml", "rng", "exceptions"],
     "loop": ["active", "automl", "core", "featurespace", "ml", "rng", "exceptions", "runtime", "serve"],
+    "loadgen": ["exceptions", "rng", "runtime", "serve"],
     "datasets": ["core", "featurespace", "ml", "netsim", "rng", "exceptions"],
     "domain": ["automl", "core", "featurespace", "ml", "rng", "exceptions"],
     "devtools": [],

@@ -55,3 +55,7 @@ class BackpressureError(ServeError):
 
 class RequestTimeoutError(ServeError):
     """Raised when a request's reply did not arrive within its timeout."""
+
+
+class LoadTestError(ReproError):
+    """Raised when a load-test invariant (accounting, shed rate, p99) fails."""

@@ -23,13 +23,15 @@ This package is that loop's serving side, stdlib-only, in five pieces:
 package on the CLI.
 """
 
+from .async_http import AsyncHTTPServer, serve_async_http
 from .client import HttpClient, InProcessClient
 from .engine import InferenceEngine, Prediction, ServeConfig, ShadowMirror
 from .http import ServeHTTPServer, serve_http
 from .metrics import Counter, Histogram, MetricsRegistry
 from .monitor import LabelingQueue, UncertaintyMonitor, committee_disagreement
 from .registry import ModelBundle, ModelRegistry, default_registry_dir
-from .service import ServeService
+from .router import ModelRouter, RequestDispatcher
+from .service import ServeService, render_prediction
 
 __all__ = [
     "ModelBundle",
@@ -43,8 +45,13 @@ __all__ = [
     "LabelingQueue",
     "committee_disagreement",
     "ServeService",
+    "render_prediction",
     "ServeHTTPServer",
     "serve_http",
+    "AsyncHTTPServer",
+    "serve_async_http",
+    "ModelRouter",
+    "RequestDispatcher",
     "InProcessClient",
     "HttpClient",
     "MetricsRegistry",

@@ -8,13 +8,19 @@ governed by backpressure, not by thread count):
 - ``GET  /healthz``  → service identity and liveness;
 - ``GET  /metrics``  → counters + latency histograms (JSON);
 - ``POST /predict``  → ``{"rows": [[...], ...]}`` → labels/uncertainty;
-- ``POST /feedback`` → ``{"limit": N}`` (optional) → labeling queue drain.
+- ``POST /predict/<name>``  → same, routed by model name;
+- ``POST /feedback[/<name>]`` → ``{"limit": N}`` → labeling queue drain.
 
-Error mapping is part of the contract: validation failures are ``400``,
-a shed request is ``503`` (the HTTP spelling of
-:class:`BackpressureError` — retryable), a timed-out request is ``504``,
-and unknown routes are ``404``.  Every response body is JSON, including
-errors (``{"error": ..., "type": ...}``).
+Routing, validation, and the error-status contract (400 validation,
+503 shed, 504 timeout, 404 unknown route, 500 other serve failures)
+live in the shared :class:`~repro.serve.router.RequestDispatcher`, so
+this transport and the async one (:mod:`repro.serve.async_http`) cannot
+drift: the same request yields byte-identical JSON on both.
+
+Shutdown drains: :meth:`ServeHTTPServer.close` first stops accepting
+connections, then quiesces the service so every request already in the
+engine's queue is batched, processed, and answered before the engine
+goes down — in-flight callers get real replies, not abandoned futures.
 """
 
 from __future__ import annotations
@@ -23,7 +29,8 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..exceptions import BackpressureError, RequestTimeoutError, ServeError, ValidationError
+from ..exceptions import ValidationError
+from .router import ModelRouter, RequestDispatcher
 from .service import ServeService
 
 __all__ = ["ServeHTTPServer", "serve_http"]
@@ -33,7 +40,7 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes the four endpoints onto the shared :class:`ServeService`."""
+    """Socket plumbing only; all semantics live in the dispatcher."""
 
     server: "ServeHTTPServer"
     protocol_version = "HTTP/1.1"
@@ -51,67 +58,54 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, error: BaseException) -> None:
-        self._send_json(status, {"error": str(error), "type": type(error).__name__})
-
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
         if length > MAX_BODY_BYTES:
             raise ValidationError(f"request body too large ({length} bytes > {MAX_BODY_BYTES})")
         raw = self.rfile.read(length) if length else b"{}"
-        try:
-            payload = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise ValidationError(f"request body is not valid JSON: {error}") from error
-        if not isinstance(payload, dict):
-            raise ValidationError("request body must be a JSON object")
-        return payload
+        return parse_json_body(raw)
 
     # -- routes ------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
-        service = self.server.service
-        if self.path == "/healthz":
-            self._send_json(200, service.healthz())
-        elif self.path == "/metrics":
-            self._send_json(200, service.metrics())
-        else:
-            self._send_json(404, {"error": f"no route {self.path!r}", "type": "NotFound"})
+        status, payload = self.server.dispatcher.get(self.path)
+        self._send_json(status, payload)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
-        service = self.server.service
+        dispatcher = self.server.dispatcher
         try:
             payload = self._read_body()
-            if self.path == "/predict":
-                rows = payload.get("rows")
-                if rows is None:
-                    raise ValidationError('predict requests need a "rows" field: {"rows": [[...], ...]}')
-                self._send_json(200, service.predict(rows))
-            elif self.path == "/feedback":
-                limit = payload.get("limit")
-                if limit is not None and (not isinstance(limit, int) or limit < 0):
-                    raise ValidationError(f'"limit" must be a non-negative integer, got {limit!r}')
-                self._send_json(200, service.feedback(limit))
-            else:
-                self._send_json(404, {"error": f"no route {self.path!r}", "type": "NotFound"})
         except ValidationError as error:
-            self._send_error_json(400, error)
-        except BackpressureError as error:
-            self._send_error_json(503, error)
-        except RequestTimeoutError as error:
-            self._send_error_json(504, error)
-        except ServeError as error:
-            self._send_error_json(500, error)
+            status, body = dispatcher.error_response(error)
+        else:
+            status, body = dispatcher.post(self.path, payload)
+        self._send_json(status, body)
+
+
+def parse_json_body(raw: bytes) -> dict:
+    """Decode a request body to the JSON object the API requires.
+
+    Shared by both transports so malformed input produces the identical
+    400 message whichever server received it.
+    """
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValidationError(f"request body is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ValidationError("request body must be a JSON object")
+    return payload
 
 
 class ServeHTTPServer(ThreadingHTTPServer):
-    """A :class:`ThreadingHTTPServer` bound to one :class:`ServeService`."""
+    """A :class:`ThreadingHTTPServer` bound to one service or router."""
 
     daemon_threads = True
 
-    def __init__(self, service: ServeService, host: str = "127.0.0.1", port: int = 0):
+    def __init__(self, service: ServeService | ModelRouter, host: str = "127.0.0.1", port: int = 0):
         super().__init__((host, port), _Handler)
         self.service = service
+        self.dispatcher = RequestDispatcher(service)
 
     @property
     def url(self) -> str:
@@ -124,13 +118,28 @@ class ServeHTTPServer(ThreadingHTTPServer):
         thread.start()
         return thread
 
-    def close(self) -> None:
+    def close(self, *, drain_timeout: float = 5.0) -> None:
+        """Stop accepting, drain in-flight requests, then close the engine.
+
+        Order matters: new connections are refused first, then
+        ``quiesce`` waits (up to ``drain_timeout``) for every request
+        already accepted into the engine queue to be batched and
+        answered, and only then does the engine shut down.  Closing the
+        engine first would strand queued requests behind the shutdown
+        sentinel — their handler threads would time out holding open
+        connections (the pre-PR-9 behaviour).
+        """
         self.shutdown()
         self.server_close()
-        self.service.close()
+        try:
+            self.service.quiesce(drain_timeout)
+        finally:
+            self.service.close()
 
 
-def serve_http(service: ServeService, host: str = "127.0.0.1", port: int = 0) -> ServeHTTPServer:
+def serve_http(
+    service: ServeService | ModelRouter, host: str = "127.0.0.1", port: int = 0
+) -> ServeHTTPServer:
     """Bind and background-start an HTTP server for ``service``.
 
     ``port=0`` lets the OS pick a free port (read it from ``server.url``),

@@ -274,6 +274,51 @@ class ModelRegistry:
         self._write_manifest(manifest)
         return int(previous)
 
+    # -- canary traffic splits --------------------------------------------
+
+    def set_canary(self, name: str, version: int, weight: float) -> None:
+        """Route a ``weight`` fraction of ``name``'s predict traffic to ``version``.
+
+        The split is manifest state, not process state: a router built
+        via :meth:`~repro.serve.router.ModelRouter.from_registry` reads
+        it at startup and serves the promoted version as primary with
+        ``version`` as the weighted canary.  Traffic selection at serve
+        time is a deterministic error-accumulator (no RNG), so the same
+        request sequence always splits the same way.
+
+        Parameters
+        ----------
+        name:
+            Registered model name.
+        version:
+            The candidate version to receive canary traffic; must be
+            registered (promotion not required — that is the point).
+        weight:
+            Fraction of predict traffic in ``(0, 1)`` sent to the canary.
+        """
+        if not 0.0 < weight < 1.0:
+            raise ValidationError(f"canary weight must be in (0, 1), got {weight}")
+        manifest = self._read_manifest()
+        entry = self._entry(manifest, name)
+        if str(version) not in entry["versions"]:
+            raise RegistryError(
+                f"cannot canary {name!r} v{version}: versions: {sorted(map(int, entry['versions']))}"
+            )
+        entry["canary"] = {"version": int(version), "weight": float(weight)}
+        self._write_manifest(manifest)
+
+    def clear_canary(self, name: str) -> None:
+        """Remove ``name``'s canary split (all traffic back to promoted)."""
+        manifest = self._read_manifest()
+        entry = self._entry(manifest, name)
+        if entry.pop("canary", None) is not None:
+            self._write_manifest(manifest)
+
+    def canary(self, name: str) -> dict[str, Any] | None:
+        """The active canary split for ``name``: ``{"version", "weight"}`` or ``None``."""
+        split = self._entry(self._read_manifest(), name).get("canary")
+        return dict(split) if split is not None else None
+
     # -- maintenance -------------------------------------------------------
 
     def gc(self, *, dry_run: bool = False) -> dict[str, int]:

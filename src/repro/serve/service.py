@@ -29,11 +29,21 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any
 
-from .engine import InferenceEngine, ServeConfig
+from .engine import InferenceEngine, Prediction, ServeConfig
 from .metrics import MetricsRegistry
 from .registry import ModelBundle, ModelRegistry
 
-__all__ = ["ServeService"]
+__all__ = ["ServeService", "render_prediction"]
+
+
+def render_prediction(name: str, version: int | None, prediction: Prediction) -> dict[str, Any]:
+    """Assemble the one true ``/predict`` response payload.
+
+    Every transport — blocking in-process, threaded HTTP, async HTTP —
+    renders through this function, so the served JSON is bitwise
+    identical regardless of which path a request took.
+    """
+    return {"model": name, "version": version, **prediction.to_json()}
 
 
 class ServeService:
@@ -139,7 +149,22 @@ class ServeService:
         """Predict one request's rows; returns the JSON-shaped response."""
         bundle, version, engine = self._state
         prediction = engine.predict(rows, timeout=timeout)
-        return {"model": bundle.name, "version": version, **prediction.to_json()}
+        return render_prediction(bundle.name, version, prediction)
+
+    def begin_predict(self, rows, on_complete) -> tuple[Any, str, int | None]:
+        """Submit without waiting: the event-loop transport's entry point.
+
+        Sheds (:class:`~repro.exceptions.BackpressureError`) or rejects
+        (:class:`~repro.exceptions.ValidationError`) immediately;
+        otherwise returns ``(pending, model_name, version)`` and
+        ``on_complete(pending)`` fires from the batcher thread once
+        ``pending.result``/``pending.error`` is set.  Render the reply
+        with :func:`render_prediction` using the returned name/version so
+        a hot swap mid-request cannot tear the response.
+        """
+        bundle, version, engine = self._state
+        pending = engine.submit(rows, on_complete=on_complete)
+        return pending, bundle.name, version
 
     def feedback(self, limit: int | None = None) -> dict[str, Any]:
         """Drain up to ``limit`` uncertain points awaiting labels."""

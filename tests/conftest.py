@@ -75,3 +75,17 @@ def fitted_automl(scream_data):
         n_iterations=8, ensemble_size=5, min_distinct_members=3, random_state=7
     )
     return automl.fit(scream_data.X, scream_data.y)
+
+
+@pytest.fixture(scope="session")
+def served_scream_registry(tmp_path_factory, fitted_automl, scream_data):
+    """A session registry with the shared ensemble as ``scream`` v1.
+
+    Read-only by contract: tests that mutate manifest state (promotion,
+    canary splits) must build their own registry in a tmp_path.
+    """
+    from repro.serve import ModelRegistry
+
+    registry = ModelRegistry(tmp_path_factory.mktemp("served-scream"))
+    registry.register("scream", fitted_automl, scream_data.X, scream_data.domains)
+    return registry

@@ -157,7 +157,7 @@ def _ensure_injection_strategies() -> None:
 
         @strategy("test_sleep")
         def _sleep(ctx) -> AugmentationResult:
-            time.sleep(4.0)
+            time.sleep(8.0)
             return AugmentationResult(train=ctx.train, points_added=0)
 
     if "test_flaky" not in STRATEGIES:
@@ -298,7 +298,10 @@ class TestGridTimeouts:
         table, record = run_table1(
             TINY_GRID,
             algorithms=["no_feedback", "test_sleep"],
-            runtime=TaskRuntime(SerialExecutor(), timeout=2.5),
+            # The eval-dataset task alone runs ~2.5s on a loaded 1-CPU
+            # container, so the timeout needs real headroom above every
+            # legitimate task while staying under the injected sleep.
+            runtime=TaskRuntime(SerialExecutor(), timeout=5.0),
         )
         assert table.names() == ["no_feedback"]
         grid = record.metadata["grid"]
