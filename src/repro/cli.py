@@ -17,7 +17,17 @@ table or figure without touching Python:
   retry storm, flash crowd, slow client, connection churn) against the
   in-process service or a real HTTP transport and print the LoadReport;
 - ``loop``     — run the online retraining-loop demo, or report loop
-  status (promotion decisions, labeling journals) from a registry.
+  status (promotion decisions, labeling journals) from a registry;
+- ``store``    — serve a cache directory as a content-addressed artifact
+  server (``store serve``), or report store totals (``store stat``,
+  local ``--dir`` or remote ``--url``).
+
+``table1``, ``ucl`` and ``sweep`` accept ``--store URL``: the runtime's
+cache gains a remote read-through/write-through tier against that
+artifact server, so a grid with an empty local cache warms itself from a
+peer's artifacts (bitwise-identical results, zero task executions when
+fully warm) and pushes fresh artifacts back.  A dead store degrades the
+run to local-only instead of failing it.
 
 ``table1`` and ``ucl`` accept ``--workers N`` and ``--cache
 {on,off,refresh}``.  The whole experiment grid is sharded through the
@@ -82,6 +92,15 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
             "failed/missing cells re-execute (counts land in the record's grid metadata)"
         ),
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="URL",
+        help=(
+            "artifact-store server to warm from / push to (forces --cache on; "
+            "a dead or unreachable store degrades to local-only, never fails the run)"
+        ),
+    )
 
 
 def _runtime_from_args(args: argparse.Namespace):
@@ -92,13 +111,16 @@ def _runtime_from_args(args: argparse.Namespace):
         if args.cache == "refresh":
             raise SystemExit("--resume re-uses cached cells; it cannot be combined with --cache refresh")
         args.cache = "on"  # a resume is exactly a warm rerun against the partial cache
+    store_url = getattr(args, "store", None)
+    if store_url is not None and args.cache == "off":
+        args.cache = "on"  # the remote tier layers onto a local cache
     if args.workers == 0 and args.cache == "off":
         return None
     from .runtime import ArtifactCache, ProcessExecutor, SerialExecutor, TaskRuntime
 
     executor = ProcessExecutor(max_workers=args.workers) if args.workers > 1 else SerialExecutor()
     cache = ArtifactCache(args.cache_dir) if args.cache != "off" else None
-    return TaskRuntime(executor, cache=cache, cache_mode=args.cache)
+    return TaskRuntime(executor, cache=cache, cache_mode=args.cache, store_url=store_url)
 
 
 def _report_runtime(runtime) -> None:
@@ -111,6 +133,15 @@ def _report_runtime(runtime) -> None:
         f"{stats['cache_hits']} cache hit(s), {stats['cache_stores']} stored{failed}",
         file=sys.stderr,
     )
+    if runtime.cache is not None and hasattr(type(runtime.cache), "remote_stats"):
+        runtime.cache.flush(timeout=10.0)
+        remote = runtime.cache.remote_stats()
+        degraded = "; DEGRADED to local-only" if remote["degraded"] else ""
+        print(
+            f"store: {remote['url']} — {remote['remote_hits']} remote hit(s), "
+            f"{remote['pushes']} push(es), {remote['push_failures']} push failure(s){degraded}",
+            file=sys.stderr,
+        )
 
 
 def _maybe_save(record, output: Path | None) -> None:
@@ -198,12 +229,19 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .automl import AutoMLClassifier
-    from .datasets import generate_scream_dataset
     from .experiments import sweep_thresholds, sweep_to_csv
+    from .experiments.grid import fetch_datasets
+    from .experiments.tasks import scream_dataset_task
+    from .runtime import default_runtime
 
     seed = args.seed if args.seed is not None else 2021
     n = 1161 if args.paper_scale else 300
-    dataset = generate_scream_dataset(n, random_state=seed)
+    # The canonical dataset task: a sweep asking for the same (n, seed)
+    # as a table1/ucl run shares their cached artifact — locally or
+    # through --store — instead of regenerating it.
+    runtime = _runtime_from_args(args)
+    rt = runtime if runtime is not None else default_runtime()
+    [dataset] = fetch_datasets(rt, [scream_dataset_task(n, seed)])
     automl = AutoMLClassifier(
         n_iterations=120 if args.paper_scale else 14,
         ensemble_size=8,
@@ -213,7 +251,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     rows = sweep_thresholds(
         automl.ensemble_members_, dataset.X, dataset.domains, grid_size=24
     )
+    _report_runtime(runtime)
     print(sweep_to_csv(rows))
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    if args.action == "stat":
+        if args.url is not None:
+            from .store import StoreClient
+
+            print(json.dumps(StoreClient(args.url).stat(), indent=2, sort_keys=True))
+            return 0
+        from .store import StoreService
+
+        print(json.dumps(StoreService(args.dir).stat(), indent=2, sort_keys=True))
+        return 0
+
+    from .store import StoreService, serve_store_async, serve_store_http
+
+    service = StoreService(args.dir, max_blob_bytes=int(args.max_blob_mb * 1024 * 1024))
+    factory = serve_store_async if args.transport == "async" else serve_store_http
+    server = factory(service, host=args.host, port=args.port)
+    print(
+        f"artifact store serving {service.cache.directory} on {server.url} "
+        f"({args.transport} transport; Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    import threading
+
+    try:
+        threading.Event().wait()  # foreground until Ctrl-C
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -478,9 +552,24 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         sub = subparsers.add_parser(name, help=help_text)
         _add_common(sub)
-        if name in ("table1", "ucl"):
+        if name in ("table1", "ucl", "sweep"):
             _add_runtime_options(sub)
         sub.set_defaults(handler=handler)
+
+    store = subparsers.add_parser("store", help="serve or inspect a content-addressed artifact store")
+    store.add_argument("action", choices=("serve", "stat"), nargs="?", default="serve")
+    store.add_argument("--dir", type=Path, default=None, help="cache directory to serve (default: the artifact cache dir)")
+    store.add_argument("--url", default=None, help="stat: query a running store server instead of a local directory")
+    store.add_argument("--host", default="127.0.0.1")
+    store.add_argument("--port", type=int, default=8751)
+    store.add_argument(
+        "--transport",
+        choices=("threaded", "async"),
+        default="threaded",
+        help="thread-per-connection or single-thread event loop (identical wire behaviour)",
+    )
+    store.add_argument("--max-blob-mb", type=float, default=64.0, help="largest accepted blob (MiB)")
+    store.set_defaults(handler=_cmd_store)
 
     cache = subparsers.add_parser("cache", help="inspect/clear/prune the artifact cache")
     cache.add_argument(

@@ -49,6 +49,7 @@ DEFAULT_LAYERS: dict[str, list[str] | str] = {
     "automl": ["ml", "rng", "exceptions"],
     "runtime": ["automl", "core", "featurespace", "ml", "rng", "exceptions"],
     "serve": ["automl", "core", "featurespace", "ml", "rng", "exceptions", "runtime"],
+    "store": ["exceptions", "runtime", "serve"],
     "active": ["core", "featurespace", "ml", "rng", "exceptions"],
     "loop": ["active", "automl", "core", "featurespace", "ml", "rng", "exceptions", "runtime", "serve"],
     "loadgen": ["exceptions", "rng", "runtime", "serve"],

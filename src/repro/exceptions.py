@@ -59,3 +59,29 @@ class RequestTimeoutError(ServeError):
 
 class LoadTestError(ReproError):
     """Raised when a load-test invariant (accounting, shed rate, p99) fails."""
+
+
+class StoreError(ReproError):
+    """Base class for artifact-store failures (:mod:`repro.store`)."""
+
+
+class StoreIntegrityError(StoreError):
+    """Raised when a blob's bytes do not hash to their claimed SHA-256 digest.
+
+    Raised server-side when an uploaded body does not match the digest the
+    client declared, and client-side when a fetched body does not match the
+    digest the server declared — the two ends of the wire-integrity
+    contract.  The offending bytes are never installed.
+    """
+
+
+class PayloadTooLargeError(StoreError):
+    """Raised when a request body exceeds the store's size bound (HTTP 413)."""
+
+
+class StoreUnavailableError(StoreError):
+    """Raised when the artifact store cannot serve (shut down or unreachable).
+
+    The remote cache tier catches this (and raw socket errors) to degrade
+    to local-only operation: a peer being down must never fail a task.
+    """

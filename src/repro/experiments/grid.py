@@ -112,10 +112,15 @@ class GridResult:
     #: much of the grid was replayed from disk.
     resumed_initial_fits: int = 0
     resumed_cells: int = 0
+    #: Remote-store accounting when the runtime's cache is a
+    #: ``RemoteCacheTier`` (``None`` otherwise): its ``remote_stats()``
+    #: snapshot — remote hits, pushes, and whether the tier degraded to
+    #: local-only mid-run.
+    store: dict[str, Any] | None = None
 
     def metadata(self) -> dict[str, Any]:
         """The ``record.metadata["grid"]`` entry."""
-        return {
+        meta = {
             "sharding": "one runtime task per (repeat, strategy) cell",
             "n_repeats": self.n_repeats,
             "n_cells": self.n_cells,
@@ -125,6 +130,9 @@ class GridResult:
             "resumed_initial_fits": self.resumed_initial_fits,
             "resumed_cells": self.resumed_cells,
         }
+        if self.store is not None:
+            meta["store"] = dict(self.store)
+        return meta
 
 
 # In-process memo for generated datasets, keyed by task key.  Only
@@ -285,6 +293,15 @@ def run_experiment_grid(
     kept = [name for name in algorithms if name not in failed_algorithms]
     if not kept:
         raise first_error  # every algorithm lost at least one cell
+    # A RemoteCacheTier cache exposes flush()/remote_stats(); a plain
+    # ArtifactCache (or no cache) does not — duck-typed so this layer
+    # never imports the store layer above it.  Flush bounds the wait for
+    # background pushes so the snapshot reflects the whole run.
+    stats_of = getattr(type(runtime.cache), "remote_stats", None)
+    store_stats = None
+    if stats_of is not None:
+        runtime.cache.flush(timeout=10.0)
+        store_stats = runtime.cache.remote_stats()
     return GridResult(
         collected={name: collected[name] for name in kept},
         n_cells=len(cell_tasks),
@@ -294,4 +311,5 @@ def run_experiment_grid(
         failed_repeats=failed_repeats,
         resumed_initial_fits=resumed_initial_fits,
         resumed_cells=resumed_cells,
+        store=store_stats,
     )

@@ -32,7 +32,7 @@ from ..stats.significance import AlgorithmScores, SignificanceTable
 from .grid import RepeatPlan, fetch_datasets, run_experiment_grid
 from .records import ExperimentRecord, scores_to_csv
 from .runner import STRATEGIES
-from .tasks import SCREAM_DATASET_TASK
+from .tasks import scream_dataset_task
 
 __all__ = ["Table1Config", "PAPER_SCALE", "TABLE1_ALGORITHMS", "run_table1", "format_paper_table"]
 
@@ -103,17 +103,24 @@ def _dataset_tasks(config: Table1Config) -> tuple[Task, Task]:
     draws it from the production-like distribution of §2.2 — the
     operator's logs under-represent lossy, congested conditions, exactly
     the blind spot the feedback is meant to surface.
+
+    Built through the canonical :func:`scream_dataset_task` constructor,
+    so any experiment (or sweep) asking for the same ``(n_samples,
+    engine, biased, seed)`` addresses the same cache artifact — locally
+    and through a shared remote store.
     """
-    eval_task = Task(
-        fn_name=SCREAM_DATASET_TASK,
-        payload={"n_samples": config.n_test + config.n_pool, "engine": config.engine, "biased": False},
-        seed_path=(config.seed,),
+    eval_task = scream_dataset_task(
+        config.n_test + config.n_pool,
+        config.seed,
+        engine=config.engine,
+        biased=False,
         label="scream-eval-dataset",
     )
-    train_task = Task(
-        fn_name=SCREAM_DATASET_TASK,
-        payload={"n_samples": 2 * config.n_train, "engine": config.engine, "biased": config.biased_train},
-        seed_path=(config.seed + 1,),
+    train_task = scream_dataset_task(
+        2 * config.n_train,
+        config.seed + 1,
+        engine=config.engine,
+        biased=config.biased_train,
         label="scream-train-dataset",
     )
     return eval_task, train_task

@@ -30,7 +30,7 @@ from ..datasets.scream import ScreamOracle, generate_scream_dataset
 from ..exceptions import ValidationError
 from ..rng import generator_from_path
 from ..runtime.cache import Provenance
-from ..runtime.task import TaskContext, task
+from ..runtime.task import Task, TaskContext, task
 
 __all__ = [
     "SCREAM_DATASET_TASK",
@@ -39,11 +39,54 @@ __all__ = [
     "scream_dataset",
     "firewall_dataset",
     "grid_cell",
+    "scream_dataset_task",
+    "firewall_dataset_task",
 ]
 
 SCREAM_DATASET_TASK = "repro.experiments.tasks:scream_dataset"
 FIREWALL_DATASET_TASK = "repro.experiments.tasks:firewall_dataset"
 GRID_CELL_TASK = "repro.experiments.tasks:grid_cell"
+
+def scream_dataset_task(
+    n_samples: int,
+    seed: int,
+    *,
+    engine: str = "fluid",
+    biased: bool = False,
+    label: str = "scream-dataset",
+) -> Task:
+    """The canonical Scream dataset-generation task.
+
+    Every caller — table1, sweeps, ad-hoc runs — builds the task through
+    here, so the payload dict and seed path (hence the content-addressed
+    cache key) depend only on ``(n_samples, engine, biased, seed)``:
+    experiments that need the same dataset share one artifact instead of
+    regenerating it per-experiment, locally *and* across a remote store.
+    The label is display-only and never enters the key.
+    """
+    return Task(
+        fn_name=SCREAM_DATASET_TASK,
+        payload={"n_samples": int(n_samples), "engine": str(engine), "biased": bool(biased)},
+        seed_path=(int(seed),),
+        label=label,
+    )
+
+
+def firewall_dataset_task(
+    n_samples: int,
+    seed: int,
+    *,
+    label_noise: float = 0.0,
+    label: str = "firewall-dataset",
+) -> Task:
+    """The canonical firewall dataset-generation task (see above)."""
+    return Task(
+        fn_name=FIREWALL_DATASET_TASK,
+        payload={"n_samples": int(n_samples), "label_noise": float(label_noise)},
+        seed_path=(int(seed),),
+        label=label,
+    )
+
 
 #: Spawn-key dimension for a cell's labeling oracle ("ORAC" in ASCII).
 #: The oracle's emulator queries draw from their own branch of the cell's

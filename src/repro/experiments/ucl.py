@@ -22,12 +22,12 @@ from ..datasets.splits import split_train_test_pool
 from ..exceptions import ValidationError
 from ..ml.metrics import accuracy
 from ..rng import check_random_state, generator_from_path, spawn_seeds
-from ..runtime import Task, TaskRuntime, default_runtime
+from ..runtime import TaskRuntime, default_runtime
 from ..stats.significance import AlgorithmScores, SignificanceTable
 from .grid import RepeatPlan, fetch_datasets, run_experiment_grid
 from .records import ExperimentRecord, scores_to_csv
 from .runner import ORACLE_STRATEGIES, STRATEGIES
-from .tasks import FIREWALL_DATASET_TASK
+from .tasks import firewall_dataset_task
 
 __all__ = ["UCLConfig", "PAPER_SCALE_UCL", "UCL_ALGORITHMS", "run_ucl"]
 
@@ -108,11 +108,8 @@ def run_ucl(
     rt = runtime if runtime is not None else default_runtime()
 
     say("generating dataset")
-    dataset_task = Task(
-        fn_name=FIREWALL_DATASET_TASK,
-        payload={"n_samples": config.n_samples, "label_noise": config.label_noise},
-        seed_path=(config.seed,),
-        label="firewall-dataset",
+    dataset_task = firewall_dataset_task(
+        config.n_samples, config.seed, label_noise=config.label_noise
     )
     [dataset] = fetch_datasets(rt, [dataset_task])
 

@@ -28,6 +28,7 @@ import dataclasses
 import hashlib
 import os
 import pickle
+import tempfile
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
@@ -210,18 +211,26 @@ class ArtifactCache:
         return path
 
     def _write_atomic(self, path: Path, blob: bytes) -> None:
+        """Install ``blob`` at ``path`` via a unique temp file + ``os.replace``.
+
+        The temp name comes from :func:`tempfile.mkstemp`, which is unique
+        per *call* — not merely per process — so two threads (or a
+        publish racing a concurrent install of the same key) can never
+        scribble into one shared temp file and leave a torn blob behind;
+        each writer renames its own complete bytes into place and the last
+        rename wins whole.
+        """
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        fd, tmp_name = tempfile.mkstemp(prefix=f".{path.name}.", suffix=".tmp", dir=path.parent)
         try:
-            with open(tmp, "wb") as handle:
+            with os.fdopen(fd, "wb") as handle:
                 handle.write(blob)
-            os.replace(tmp, path)
+            os.replace(tmp_name, path)
         finally:
-            if tmp.exists():
-                try:
-                    tmp.unlink()
-                except OSError:
-                    pass
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass  # the normal case: os.replace already consumed it
 
     # -- publish/fetch (registry entry points) ----------------------------
 
@@ -257,6 +266,34 @@ class ArtifactCache:
             raise KeyError(key)
         return value
 
+    # -- raw blob access (the network tier's entry points) -----------------
+
+    def read_blob(self, key: str) -> bytes | None:
+        """The exact on-disk bytes of one entry, or ``None`` when absent.
+
+        What a network peer ships: the pickled artifact *as stored*, so a
+        remote install is byte-for-byte the file a local execution would
+        have written and content digests agree across machines.
+        """
+        try:
+            with open(self.path_for(key), "rb") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    def install_blob(self, key: str, blob: bytes) -> Path:
+        """Atomically install raw artifact bytes under ``key``.
+
+        The write-side counterpart of :meth:`read_blob`: callers that
+        already hold serialized bytes (a verified remote fetch) land them
+        without a pickle round-trip, via the same unique-temp atomic
+        rename every other write path uses.
+        """
+        path = self.path_for(key)
+        self._write_atomic(path, blob)
+        self.stores += 1
+        return path
+
     # -- maintenance -------------------------------------------------------
 
     def keys(self) -> list[str]:
@@ -273,8 +310,14 @@ class ArtifactCache:
 
     def info(self) -> dict[str, Any]:
         """Entry count and total bytes on disk (plus session counters)."""
-        entries = list(self._entries())
-        total = sum(path.stat().st_size for path in entries if path.exists())
+        entries = []
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue  # swept by a concurrent prune/remove between glob and stat
+            entries.append(path)
         return {
             "directory": str(self.directory),
             "entries": len(entries),

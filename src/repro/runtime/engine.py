@@ -18,6 +18,7 @@ Cache modes:
 
 from __future__ import annotations
 
+import importlib
 from typing import Any, Callable, Sequence
 
 from ..exceptions import ValidationError
@@ -47,6 +48,13 @@ class TaskRuntime:
     timeout, retries:
         Per-task attempt budget in seconds (``None`` = unbounded) and the
         number of deterministic-seed retries after a failed attempt.
+    store_url:
+        Base URL of a :mod:`repro.store` artifact server.  When given
+        (requires ``cache``), the local cache is wrapped in a
+        ``RemoteCacheTier``: misses try the peer before executing and
+        fresh results are pushed back.  The tier is resolved by module
+        *name* — mirroring :func:`~repro.runtime.task.resolve_task` — so
+        this layer never imports the ``store`` layer above it.
     """
 
     def __init__(
@@ -57,6 +65,7 @@ class TaskRuntime:
         cache_mode: str = "on",
         timeout: float | None = None,
         retries: int = 0,
+        store_url: str | None = None,
     ):
         if cache_mode not in CACHE_MODES:
             raise ValidationError(f"cache_mode must be one of {CACHE_MODES}, got {cache_mode!r}")
@@ -65,6 +74,11 @@ class TaskRuntime:
         self.cache_mode = cache_mode if cache is not None else "off"
         self.timeout = timeout
         self.retries = retries
+        if store_url is not None:
+            if cache is None:
+                raise ValidationError("store_url requires a local cache (the remote tier installs into it)")
+            tier_cls = importlib.import_module("repro.store.client").RemoteCacheTier
+            self.cache = tier_cls(cache, store_url)
         self.reset_stats()
 
     # -- bookkeeping -------------------------------------------------------

@@ -9,7 +9,9 @@ governed by backpressure, not by thread count):
 - ``GET  /metrics``  → counters + latency histograms (JSON);
 - ``POST /predict``  → ``{"rows": [[...], ...]}`` → labels/uncertainty;
 - ``POST /predict/<name>``  → same, routed by model name;
-- ``POST /feedback[/<name>]`` → ``{"limit": N}`` → labeling queue drain.
+- ``POST /feedback[/<name>]`` → ``{"limit": N}`` → labeling queue drain;
+- ``POST /loop/tick`` / ``GET /loop/status`` → drive an attached
+  retraining loop (:meth:`RequestDispatcher.attach_loop`) over the wire.
 
 Routing, validation, and the error-status contract (400 validation,
 503 shed, 504 timeout, 404 unknown route, 500 other serve failures)

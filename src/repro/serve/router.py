@@ -234,14 +234,28 @@ class RequestDispatcher:
 
     def __init__(self, target: ServeService | ModelRouter):
         self.target = target
+        self.loop: Any | None = None
+
+    def attach_loop(self, loop: Any) -> None:
+        """Expose a retraining loop (``tick()``/``status()``) over the wire.
+
+        Duck-typed on purpose: the serve layer sits *below*
+        :mod:`repro.loop` in the import DAG, so the loop object arrives
+        from above and the dispatcher only calls its two JSON-shaped
+        methods.  Attached on the dispatcher — not a transport — so the
+        threaded and async servers expose identical ``/loop/*`` routes.
+        """
+        self.loop = loop
 
     # -- route/payload parsing (shared by both transports) -----------------
 
     def parse_post_route(self, path: str) -> tuple[str, str | None]:
-        """``/predict[/<name>]`` or ``/feedback[/<name>]`` → ``(kind, name)``."""
+        """``/predict[/<name>]``, ``/feedback[/<name>]``, ``/loop/tick`` → ``(kind, name)``."""
         parts = path.rstrip("/").split("/")
         if len(parts) == 2 and parts[1] in ("predict", "feedback"):
             return parts[1], None
+        if len(parts) == 3 and parts[1] == "loop" and parts[2] == "tick":
+            return "loop", None
         if len(parts) == 3 and parts[1] in ("predict", "feedback") and parts[2]:
             return parts[1], parts[2]
         raise RouteNotFound(f"no route {path!r}")
@@ -287,6 +301,8 @@ class RequestDispatcher:
             return 200, self.target.healthz()
         if path == "/metrics":
             return 200, self.target.metrics()
+        if path == "/loop/status" and self.loop is not None:
+            return 200, self.loop.status()
         return self.not_found(f"no route {path!r}")
 
     def post(self, path: str, payload: dict) -> tuple[int, dict]:
@@ -296,6 +312,10 @@ class RequestDispatcher:
             if kind == "predict":
                 rows = self.rows_of(payload)
                 return 200, self.service_for(name, pick=True).predict(rows)
+            if kind == "loop":
+                if self.loop is None:
+                    raise RouteNotFound("no retraining loop attached to this server")
+                return 200, self.loop.tick()
             limit = self.limit_of(payload)
             return 200, self.service_for(name).feedback(limit)
         except RouteNotFound as error:

@@ -1,0 +1,68 @@
+"""Event-loop transport for the artifact store.
+
+:class:`AsyncStoreServer` reuses the serve layer's selectors event loop
+(:class:`~repro.serve.async_http.AsyncHTTPServer`) wholesale — accept,
+incremental parsing, write backpressure, idle reaping, drain-on-close —
+and overrides exactly two hooks: request handling routes into the shared
+:class:`~repro.store.server.StoreDispatcher` (so responses are
+byte-identical to the threaded transport's), and the oversize-body guard
+renders the store's typed 413 instead of serve's 400.  Bodies are
+buffered by the loop's parser (bounded at ``max_blob_bytes``), verified,
+and installed atomically by :meth:`StoreService.put_blob`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..serve.async_http import AsyncHTTPServer
+from .server import StoreDispatcher
+from .service import StoreService
+
+__all__ = ["AsyncStoreServer", "serve_store_async"]
+
+
+class AsyncStoreServer(AsyncHTTPServer):
+    """Single-thread, selectors-based artifact-store server."""
+
+    def __init__(
+        self,
+        service: StoreService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        idle_timeout: float | None = 30.0,
+        max_connections: int = 1024,
+    ):
+        super().__init__(service, host, port, idle_timeout=idle_timeout, max_connections=max_connections)
+        self.store_dispatcher = StoreDispatcher(service)
+        # Blobs are legitimately large; the parser's cap is the store's.
+        self.max_body_bytes = service.max_blob_bytes
+
+    def _oversized_body(self, length: int) -> tuple[int, dict]:
+        self.service.metrics_registry.counter("oversized_rejections").inc()
+        error = self.service.oversized_error(length)
+        status, body, _content_type, _headers = self.store_dispatcher.error_response(error)
+        return status, json.loads(body)
+
+    def _handle(self, conn, method, path, body, close_requested, headers) -> None:
+        status, out, content_type, extra = self.store_dispatcher.handle(method, path, body, headers)
+        self._respond_bytes(
+            conn, status, out, content_type, extra_headers=extra, close=close_requested
+        )
+
+
+def serve_store_async(
+    service: StoreService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    idle_timeout: float | None = 30.0,
+    max_connections: int = 1024,
+) -> AsyncStoreServer:
+    """Bind and background-start the event-loop store server."""
+    server = AsyncStoreServer(
+        service, host, port, idle_timeout=idle_timeout, max_connections=max_connections
+    )
+    server.serve_background()
+    return server

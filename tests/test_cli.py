@@ -9,7 +9,7 @@ class TestParser:
     def test_all_subcommands_present(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("table1", "ucl", "figure1", "figure2", "sweep", "emulate"):
+        for command in ("table1", "ucl", "figure1", "figure2", "sweep", "emulate", "store"):
             assert command in text
 
     def test_requires_subcommand(self):
@@ -115,3 +115,49 @@ class TestLoadtest:
         )
         assert report["workload"]["name"] == "open_loop"
         assert "accounting identity holds" in captured.err
+
+
+class TestStoreCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["store"])
+        assert args.action == "serve"
+        assert args.transport == "threaded" and args.port == 8751
+        args = build_parser().parse_args(["store", "stat", "--url", "http://x:1"])
+        assert args.action == "stat" and args.url == "http://x:1"
+
+    def test_stat_reports_a_local_directory(self, tmp_path, capsys):
+        import hashlib
+        import json
+
+        from repro.runtime import ArtifactCache
+
+        ArtifactCache(tmp_path).store(hashlib.sha256(b"k").hexdigest(), {"v": 1})
+        assert main(["store", "stat", "--dir", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1 and payload["directory"] == str(tmp_path)
+
+    def test_stat_queries_a_running_server(self, tmp_path, capsys):
+        import json
+
+        from repro.store import StoreService, serve_store_http
+
+        server = serve_store_http(StoreService(tmp_path))
+        try:
+            assert main(["store", "stat", "--url", server.url]) == 0
+        finally:
+            server.close()
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 0 and "metrics" in payload
+
+    def test_store_flag_forces_cache_on_and_wires_the_tier(self, tmp_path):
+        from repro.cli import _runtime_from_args
+        from repro.store import RemoteCacheTier
+
+        args = build_parser().parse_args(
+            ["table1", "--store", "http://127.0.0.1:1", "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert args.cache == "off"  # flag default untouched by argparse
+        runtime = _runtime_from_args(args)
+        assert isinstance(runtime.cache, RemoteCacheTier)
+        assert runtime.cache_mode == "on"
+        runtime.cache.close()

@@ -255,3 +255,82 @@ class TestRequestDispatcher:
             assert status == 400 and payload["type"] == "ValidationError"
             status, payload = dispatcher.post("/feedback", {"limit": 5})
             assert status == 200 and "candidates" in payload
+
+
+class _StubLoop:
+    """Duck-typed retraining loop: tick()/status(), deterministic payloads."""
+
+    def __init__(self):
+        self.ticks = 0
+
+    def tick(self):
+        self.ticks += 1
+        return {"tick": self.ticks, "promoted": False}
+
+    def status(self):
+        return {"ticks": self.ticks, "state": "idle"}
+
+
+class TestLoopRoutes:
+    """The /loop/tick admin surface, shared by both HTTP transports."""
+
+    def test_parse_loop_tick_route(self):
+        dispatcher = RequestDispatcher(_stub_service())
+        assert dispatcher.parse_post_route("/loop/tick") == ("loop", None)
+        for path in ("/loop", "/loop/tick/extra", "/loop/other"):
+            with pytest.raises(RouteNotFound):
+                dispatcher.parse_post_route(path)
+
+    def test_tick_without_attached_loop_is_404(self):
+        dispatcher = RequestDispatcher(_stub_service())
+        status, payload = dispatcher.post("/loop/tick", {})
+        assert status == 404 and payload["type"] == "NotFound"
+        status, payload = dispatcher.get("/loop/status")
+        assert status == 404  # the route only exists once a loop is attached
+
+    def test_attached_loop_ticks_and_reports(self):
+        dispatcher = RequestDispatcher(_stub_service())
+        dispatcher.attach_loop(_StubLoop())
+        assert dispatcher.post("/loop/tick", {}) == (200, {"tick": 1, "promoted": False})
+        assert dispatcher.post("/loop/tick", {}) == (200, {"tick": 2, "promoted": False})
+        assert dispatcher.get("/loop/status") == (200, {"ticks": 2, "state": "idle"})
+
+    def test_transports_serve_identical_loop_routes(self):
+        """POST /loop/tick and GET /loop/status are bitwise-equal on both servers."""
+        import urllib.request
+
+        from repro.serve import serve_async_http, serve_http
+
+        def exchange(url, method, path, body=None):
+            request = urllib.request.Request(
+                url + path, data=body, method=method,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=5.0) as response:
+                    return response.status, response.read()
+            except urllib.error.HTTPError as error:
+                return error.code, error.read()
+
+        transcripts = {}
+        for transport, factory in (("threaded", serve_http), ("async", serve_async_http)):
+            service = SimpleNamespace(
+                healthz=lambda: {"status": "ok"},
+                metrics=lambda: {"counters": {}},
+                quiesce=lambda timeout=None: True,
+                close=lambda: None,
+            )
+            server = factory(service)
+            server.dispatcher.attach_loop(_StubLoop())
+            try:
+                transcripts[transport] = [
+                    exchange(server.url, "POST", "/loop/tick", b"{}"),
+                    exchange(server.url, "POST", "/loop/tick", b"{}"),
+                    exchange(server.url, "GET", "/loop/status"),
+                    exchange(server.url, "POST", "/loop/tick/extra", b"{}"),
+                ]
+            finally:
+                server.close()
+        assert transcripts["threaded"] == transcripts["async"]
+        statuses = [status for status, _ in transcripts["threaded"]]
+        assert statuses == [200, 200, 200, 404]
